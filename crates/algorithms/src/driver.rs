@@ -1,0 +1,238 @@
+//! The combined BugDoc driver.
+//!
+//! The real-world evaluation runs "BugDoc (using Stacked Shortcut and
+//! Debugging Decision Trees combined)" (paper §5.3, Figure 7): the cheap
+//! linear-cost Stacked Shortcut first, then DDT for inequality and
+//! disjunctive causes, with the final explanation set deduplicated
+//! semantically and simplified with Quine–McCluskey.
+
+use crate::ddt::{debugging_decision_trees, DdtConfig, DdtMode};
+use crate::error::AlgoError;
+use crate::stacked::{stacked_shortcut, StackedConfig};
+use bugdoc_core::{CanonicalCause, Conjunction, Dnf};
+use bugdoc_engine::Executor;
+
+/// Which algorithms the driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Shortcut stacked over k disjoint goods only (cheap, equality causes).
+    StackedShortcutOnly,
+    /// Debugging Decision Trees only (inequalities, disjunctions).
+    DdtOnly,
+    /// Stacked Shortcut then DDT — the paper's combined configuration.
+    Combined,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct BugDocConfig {
+    /// Algorithm selection.
+    pub strategy: Strategy,
+    /// FindOne or FindAll (forwarded to DDT; Stacked always yields one).
+    pub mode: DdtMode,
+    /// Stacked Shortcut settings.
+    pub stacked: StackedConfig,
+    /// DDT settings.
+    pub ddt: DdtConfig,
+}
+
+impl Default for BugDocConfig {
+    fn default() -> Self {
+        BugDocConfig {
+            strategy: Strategy::Combined,
+            mode: DdtMode::FindAll,
+            stacked: StackedConfig::default(),
+            ddt: DdtConfig {
+                mode: DdtMode::FindAll,
+                ..DdtConfig::default()
+            },
+        }
+    }
+}
+
+/// A combined diagnosis.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// The asserted root causes, semantically deduplicated and simplified.
+    pub causes: Dnf,
+    /// Cause asserted by Stacked Shortcut, if it ran and asserted one.
+    pub stacked_cause: Option<Conjunction>,
+    /// Causes asserted by DDT, if it ran.
+    pub ddt_causes: Option<Dnf>,
+    /// New pipeline executions consumed in total.
+    pub new_executions: usize,
+}
+
+/// Runs the configured BugDoc strategy against the executor's history.
+pub fn diagnose(exec: &Executor, config: &BugDocConfig) -> Result<Diagnosis, AlgoError> {
+    let space = exec.space();
+    let start = exec.stats().new_executions;
+    let mut collected: Vec<Conjunction> = Vec::new();
+
+    let mut stacked_cause = None;
+    if matches!(
+        config.strategy,
+        Strategy::StackedShortcutOnly | Strategy::Combined
+    ) {
+        match stacked_shortcut(exec, &config.stacked) {
+            Ok(report) => {
+                if let Some(c) = &report.cause {
+                    collected.push(c.clone());
+                }
+                stacked_cause = report.cause;
+            }
+            // A missing comparison instance — or an empty/failure-free
+            // history — only disables this stage; DDT can still probe for
+            // both outcomes. Genuine input errors propagate.
+            Err(AlgoError::NoSucceedingInstance | AlgoError::NoFailingInstance)
+                if config.strategy == Strategy::Combined => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut ddt_causes = None;
+    if matches!(config.strategy, Strategy::DdtOnly | Strategy::Combined) {
+        let ddt_config = DdtConfig {
+            mode: config.mode,
+            ..config.ddt.clone()
+        };
+        let report = debugging_decision_trees(exec, &ddt_config)?;
+        collected.extend(report.causes.conjuncts().iter().cloned());
+        ddt_causes = Some(report.causes);
+    }
+
+    // Semantic dedup, then QM simplification of the union.
+    let mut seen: Vec<CanonicalCause> = Vec::new();
+    let mut unique: Vec<Conjunction> = Vec::new();
+    for c in collected {
+        let canon = c.canonicalize(&space);
+        if canon.is_unsatisfiable() {
+            continue;
+        }
+        if !seen.contains(&canon) {
+            seen.push(canon);
+            unique.push(c);
+        }
+    }
+    let mut causes = Dnf::new(unique);
+    if causes.len() > 1 {
+        causes = bugdoc_qm::minimize_dnf(&space, &causes);
+    }
+
+    Ok(Diagnosis {
+        causes,
+        stacked_cause,
+        ddt_causes,
+        new_executions: exec.stats().new_executions - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, Predicate, Value};
+    use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, Pipeline};
+    use std::sync::Arc;
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("a", [1, 2, 3, 4])
+            .ordinal("b", [1, 2, 3, 4])
+            .categorical("c", ["x", "y", "z"])
+            .build()
+    }
+
+    fn exec_for(
+        s: &Arc<ParamSpace>,
+        fail_if: impl Fn(&Instance) -> bool + Send + Sync + 'static,
+    ) -> Executor {
+        let pipe: Arc<dyn Pipeline> = Arc::new(FnPipeline::new(s.clone(), move |i: &Instance| {
+            EvalResult::of(Outcome::from_check(!fail_if(i)))
+        }));
+        let exec = Executor::new(pipe, ExecutorConfig::default());
+        // Seed a small history with both outcomes.
+        for (a, b, c) in [(1, 1, "x"), (4, 4, "z"), (2, 3, "y"), (4, 1, "x")] {
+            let inst = Instance::from_pairs(
+                s,
+                [("a", a.into()), ("b", b.into()), ("c", c.into())],
+            );
+            let _ = exec.evaluate(&inst);
+        }
+        exec
+    }
+
+    #[test]
+    fn combined_finds_equality_cause() {
+        let s = space();
+        let a = s.by_name("a").unwrap();
+        let exec = exec_for(&s, move |i| i.get(a) == &Value::from(4));
+        let diag = diagnose(&exec, &BugDocConfig::default()).unwrap();
+        assert_eq!(diag.causes.len(), 1, "got {}", diag.causes.display(&s));
+        assert_eq!(
+            diag.causes.conjuncts()[0].canonicalize(&s),
+            Conjunction::new(vec![Predicate::eq(a, 4)]).canonicalize(&s)
+        );
+        assert!(diag.stacked_cause.is_some());
+        assert!(diag.ddt_causes.is_some());
+    }
+
+    #[test]
+    fn stacked_only_strategy() {
+        let s = space();
+        let a = s.by_name("a").unwrap();
+        let exec = exec_for(&s, move |i| i.get(a) == &Value::from(4));
+        let diag = diagnose(
+            &exec,
+            &BugDocConfig {
+                strategy: Strategy::StackedShortcutOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(diag.ddt_causes.is_none());
+        assert!(diag.stacked_cause.is_some());
+        assert_eq!(diag.causes.len(), 1);
+    }
+
+    #[test]
+    fn ddt_only_strategy_handles_inequality() {
+        let s = space();
+        let b = s.by_name("b").unwrap();
+        let exec = exec_for(&s, move |i| i.get(b) > &Value::from(2));
+        let diag = diagnose(
+            &exec,
+            &BugDocConfig {
+                strategy: Strategy::DdtOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(diag.stacked_cause.is_none());
+        assert_eq!(diag.causes.len(), 1);
+        assert_eq!(
+            diag.causes.conjuncts()[0].canonicalize(&s),
+            Conjunction::new(vec![Predicate::new(b, bugdoc_core::Comparator::Gt, 2)])
+                .canonicalize(&s)
+        );
+    }
+
+    #[test]
+    fn duplicate_causes_are_merged() {
+        // Stacked and DDT both find a = 4; the diagnosis lists it once.
+        let s = space();
+        let a = s.by_name("a").unwrap();
+        let exec = exec_for(&s, move |i| i.get(a) == &Value::from(4));
+        let diag = diagnose(&exec, &BugDocConfig::default()).unwrap();
+        assert_eq!(diag.causes.len(), 1);
+    }
+
+    #[test]
+    fn no_failure_propagates_error() {
+        let s = space();
+        let exec = exec_for(&s, |_| false);
+        assert!(matches!(
+            diagnose(&exec, &BugDocConfig::default()),
+            Err(AlgoError::NoFailingInstance)
+        ));
+    }
+}

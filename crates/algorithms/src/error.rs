@@ -1,0 +1,52 @@
+//! Error types shared by the debugging algorithms.
+
+use bugdoc_engine::ExecError;
+use std::fmt;
+
+/// Why a debugging algorithm could not run (distinct from running and
+/// asserting nothing, which the report types express).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgoError {
+    /// The provided instances do not match the executor's parameter space.
+    SpaceMismatch,
+    /// The instance supplied as `CP_f` does not evaluate to `fail`.
+    ExpectedFailing,
+    /// The instance supplied as `CP_g` does not evaluate to `succeed`.
+    ExpectedSucceeding,
+    /// The history contains no failing instance to debug.
+    NoFailingInstance,
+    /// No succeeding instance could be found or generated to compare against.
+    NoSucceedingInstance,
+    /// The execution budget ran out before the algorithm could even evaluate
+    /// its starting instances.
+    BudgetExhausted,
+    /// The starting instances cannot be executed (historical-replay gap).
+    Unavailable,
+}
+
+impl AlgoError {
+    pub(crate) fn from_exec(e: ExecError) -> Self {
+        match e {
+            ExecError::BudgetExhausted => AlgoError::BudgetExhausted,
+            ExecError::Unavailable => AlgoError::Unavailable,
+        }
+    }
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::SpaceMismatch => write!(f, "instance does not match the parameter space"),
+            AlgoError::ExpectedFailing => write!(f, "CP_f must evaluate to fail"),
+            AlgoError::ExpectedSucceeding => write!(f, "CP_g must evaluate to succeed"),
+            AlgoError::NoFailingInstance => write!(f, "no failing instance in the history"),
+            AlgoError::NoSucceedingInstance => {
+                write!(f, "no succeeding instance available for comparison")
+            }
+            AlgoError::BudgetExhausted => write!(f, "budget exhausted before the algorithm could start"),
+            AlgoError::Unavailable => write!(f, "starting instance unavailable for execution"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}

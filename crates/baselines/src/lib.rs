@@ -1,0 +1,26 @@
+//! # bugdoc-baselines
+//!
+//! From-scratch reimplementations of the state-of-the-art methods BugDoc is
+//! evaluated against (paper §5):
+//!
+//! * [`dataxray`] — Data X-Ray (Wang et al., SIGMOD 2015): feature-hierarchy
+//!   diagnosis over parameter-value features. High recall, low precision.
+//! * [`exptables`] — Explanation Tables (El Gebaly et al., VLDB 2014):
+//!   greedy information-gain pattern tables. High precision, low recall.
+//! * [`smac`] — SMAC-style sequential model-based configuration (Hutter et
+//!   al., LION 2011) with a random-forest surrogate and expected improvement,
+//!   flipped to *seek failing instances*; an instance generator paired with
+//!   the explainers above, exactly as the paper pairs them.
+//! * [`random_search`] — the uniform generator the paper compares against
+//!   and omits from its plots.
+
+#![warn(missing_docs)]
+
+pub mod dataxray;
+pub mod exptables;
+pub mod random_search;
+pub mod smac;
+
+pub use dataxray::DataXRayConfig;
+pub use exptables::{ExpTablesConfig, ExplanationTable, Pattern};
+pub use smac::{SmacConfig, SmacReport};

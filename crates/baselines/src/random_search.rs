@@ -1,0 +1,87 @@
+//! Uniform random search — the instance generator the paper "also ran ...
+//! as an alternative" and found "always worse than those obtained using SMAC
+//! or BugDoc" (§5). Included so the comparison can be regenerated.
+
+use crate::smac::random_instance;
+use bugdoc_engine::{ExecError, Executor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Executes up to `n_new` uniformly random, previously unseen instances.
+/// Returns the number actually executed (the executor's budget or replay
+/// gaps may stop it early).
+pub fn generate(exec: &Executor, n_new: usize, seed: u64) -> usize {
+    let space = exec.space();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = exec.stats().new_executions;
+    let mut stall = 0;
+    while exec.stats().new_executions < start + n_new && stall < 200 {
+        let inst = random_instance(&space, &mut rng);
+        let known = exec.with_provenance_ref(|prov| prov.lookup(&inst).is_some());
+        if known {
+            stall += 1;
+            continue;
+        }
+        match exec.evaluate(&inst) {
+            Ok(_) => stall = 0,
+            Err(ExecError::BudgetExhausted) => break,
+            Err(ExecError::Unavailable) => stall += 1,
+        }
+    }
+    exec.stats().new_executions - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, Value};
+    use bugdoc_engine::{ExecutorConfig, FnPipeline, Pipeline};
+    use std::sync::Arc;
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("a", [1, 2, 3, 4, 5])
+            .ordinal("b", [1, 2, 3, 4, 5])
+            .build()
+    }
+
+    #[test]
+    fn generates_unseen_instances() {
+        let s = space();
+        let a = s.by_name("a").unwrap();
+        let pipe: Arc<dyn Pipeline> = Arc::new(FnPipeline::new(s.clone(), move |i: &Instance| {
+            EvalResult::of(Outcome::from_check(i.get(a) != &Value::from(5)))
+        }));
+        let exec = Executor::new(pipe, ExecutorConfig::default());
+        let n = generate(&exec, 10, 1);
+        assert_eq!(n, 10);
+        assert_eq!(exec.provenance().len(), 10);
+    }
+
+    #[test]
+    fn stops_when_space_is_exhausted() {
+        let s = ParamSpace::builder().ordinal("a", [1, 2]).build();
+        let pipe: Arc<dyn Pipeline> = Arc::new(FnPipeline::new(s.clone(), |_: &Instance| {
+            EvalResult::of(Outcome::Succeed)
+        }));
+        let exec = Executor::new(pipe, ExecutorConfig::default());
+        let n = generate(&exec, 10, 1);
+        assert_eq!(n, 2, "only two instances exist");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let s = space();
+        let pipe: Arc<dyn Pipeline> = Arc::new(FnPipeline::new(s.clone(), |_: &Instance| {
+            EvalResult::of(Outcome::Succeed)
+        }));
+        let exec = Executor::new(
+            pipe,
+            ExecutorConfig {
+                workers: 1,
+                budget: Some(3),
+            },
+        );
+        assert_eq!(generate(&exec, 10, 1), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion timing of the three debugging algorithms as the parameter count
+//! grows — the wall-clock companion to Figure 5's instance counts. Pipeline
+//! executions are microsecond-scale simulators here, so these benches
+//! measure the algorithms' own bookkeeping (tree builds, canonicalization,
+//! verification sampling) rather than pipeline latency.
+
+use bugdoc_algorithms::{
+    debugging_decision_trees, stacked_shortcut, DdtConfig, DdtMode, StackedConfig,
+};
+use bugdoc_core::ProvenanceStore;
+use bugdoc_engine::{Executor, ExecutorConfig, Pipeline};
+use bugdoc_synth::{CauseScenario, SynthConfig, SyntheticPipeline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_executor(pipe: &Arc<SyntheticPipeline>) -> Executor {
+    let seeds = pipe.seed_history(2, 6, 7);
+    let mut prov = ProvenanceStore::new(pipe.space().clone());
+    for (inst, eval) in &seeds {
+        prov.record(inst.clone(), *eval);
+    }
+    Executor::with_provenance(
+        pipe.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig {
+            workers: 4,
+            budget: None,
+        },
+        prov,
+    )
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for n_params in [4usize, 8, 12] {
+        let pipe = Arc::new(SyntheticPipeline::generate(
+            &SynthConfig {
+                scenario: CauseScenario::SingleConjunction,
+                n_params: (n_params, n_params),
+                n_values: (5, 8),
+                ..SynthConfig::default()
+            },
+            11,
+        ));
+
+        group.bench_with_input(
+            BenchmarkId::new("stacked_shortcut", n_params),
+            &n_params,
+            |b, _| {
+                b.iter(|| {
+                    let exec = build_executor(&pipe);
+                    stacked_shortcut(&exec, &StackedConfig::default())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ddt_find_one", n_params),
+            &n_params,
+            |b, _| {
+                b.iter(|| {
+                    let exec = build_executor(&pipe);
+                    debugging_decision_trees(
+                        &exec,
+                        &DdtConfig {
+                            mode: DdtMode::FindOne,
+                            ..DdtConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ddt_find_all", n_params),
+            &n_params,
+            |b, _| {
+                b.iter(|| {
+                    let exec = build_executor(&pipe);
+                    debugging_decision_trees(
+                        &exec,
+                        &DdtConfig {
+                            mode: DdtMode::FindAll,
+                            ..DdtConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion timing of the baseline methods on matched histories: Data X-Ray
+//! diagnosis, Explanation Tables fitting, and one SMAC model-propose-execute
+//! iteration.
+
+use bugdoc_baselines::{dataxray, exptables, smac};
+use bugdoc_core::ProvenanceStore;
+use bugdoc_engine::{Executor, ExecutorConfig, Pipeline};
+use bugdoc_synth::{CauseScenario, SynthConfig, SyntheticPipeline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn history(n_runs: usize) -> (Arc<SyntheticPipeline>, ProvenanceStore) {
+    let pipe = Arc::new(SyntheticPipeline::generate(
+        &SynthConfig {
+            scenario: CauseScenario::SingleConjunction,
+            n_params: (8, 8),
+            n_values: (5, 8),
+            ..SynthConfig::default()
+        },
+        21,
+    ));
+    let seeds = pipe.seed_history(n_runs / 4, n_runs - n_runs / 4, 13);
+    let mut prov = ProvenanceStore::new(pipe.space().clone());
+    for (inst, eval) in &seeds {
+        prov.record(inst.clone(), *eval);
+    }
+    (pipe, prov)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+
+    for n_runs in [40usize, 120] {
+        let (pipe, prov) = history(n_runs);
+
+        group.bench_with_input(
+            BenchmarkId::new("dataxray_explain", n_runs),
+            &n_runs,
+            |b, _| b.iter(|| dataxray::explain(&prov, &Default::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exptables_fit", n_runs),
+            &n_runs,
+            |b, _| b.iter(|| exptables::fit(&prov, &Default::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("smac_10_iterations", n_runs),
+            &n_runs,
+            |b, _| {
+                b.iter_with_setup(
+                    || {
+                        Executor::with_provenance(
+                            pipe.clone() as Arc<dyn Pipeline>,
+                            ExecutorConfig {
+                                workers: 1,
+                                budget: None,
+                            },
+                            prov.clone(),
+                        )
+                    },
+                    |exec| {
+                        smac::generate(&exec, 10, &Default::default());
+                        exec
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

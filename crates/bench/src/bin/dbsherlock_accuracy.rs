@@ -1,0 +1,66 @@
+//! Reproduces the DBSherlock holdout-accuracy claim (paper §5.3): "we create
+//! a 25% holdout to assess the accuracy of BugDoc's minimal root causes as a
+//! classifier to predict when a pipeline instance will fail ... This method
+//! is accurate 98% of the time."
+//!
+//! Usage: `dbsherlock_accuracy [--seed S]`.
+
+use bugdoc_algorithms::{diagnose, BugDocConfig};
+use bugdoc_bench::BenchArgs;
+use bugdoc_engine::{Executor, ExecutorConfig, Pipeline};
+use bugdoc_eval::{classify_holdout, TextTable};
+use bugdoc_pipelines::{DbSherlockConfig, DbSherlockDataset};
+use std::sync::Arc;
+
+fn main() {
+    let args = BenchArgs::parse(10);
+    let dataset = DbSherlockDataset::generate(&DbSherlockConfig {
+        seed: args.seed,
+        ..DbSherlockConfig::default()
+    });
+
+    println!("== DBSherlock | holdout accuracy of asserted causes as a failure classifier ==");
+    let mut table = TextTable::new(&[
+        "anomaly class",
+        "holdout size",
+        "TP",
+        "TN",
+        "FP",
+        "FN",
+        "accuracy",
+    ]);
+    let mut total_correct = 0usize;
+    let mut total = 0usize;
+    for class in 0..dataset.n_classes().min(args.pipelines) {
+        let problem = dataset.problem(class);
+        let exec = Executor::with_provenance(
+            Arc::new(problem.historical_pipeline()) as Arc<dyn Pipeline>,
+            ExecutorConfig {
+                workers: 5,
+                budget: None,
+            },
+            problem.initial_provenance(),
+        );
+        let causes = match diagnose(&exec, &BugDocConfig::default()) {
+            Ok(d) => d.causes.conjuncts().to_vec(),
+            Err(_) => Vec::new(),
+        };
+        let report = classify_holdout(&causes, &problem.holdout);
+        total_correct += report.true_positives + report.true_negatives;
+        total += report.total();
+        table.row(vec![
+            class.to_string(),
+            report.total().to_string(),
+            report.true_positives.to_string(),
+            report.true_negatives.to_string(),
+            report.false_positives.to_string(),
+            report.false_negatives.to_string(),
+            format!("{:.1}%", report.accuracy() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Overall accuracy: {:.1}% (paper reports 98%)",
+        100.0 * total_correct as f64 / total.max(1) as f64
+    );
+}

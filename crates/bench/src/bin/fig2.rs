@@ -1,0 +1,67 @@
+//! Reproduces Figure 2 (paper §5.1): FindOne precision, recall, and
+//! F-measure for the three root-cause scenarios — single triple (row 1),
+//! single conjunction (row 2), disjunction of conjunctions (row 3) — with
+//! each method granted the instance budget of the corresponding BugDoc
+//! algorithm (groups: Shortcut / Stacked Shortcut / DDT).
+//!
+//! Usage: `fig2 [--pipelines N] [--seed S] [--full]`.
+
+use bugdoc_bench::BenchArgs;
+use bugdoc_eval::{
+    run_scenario, BudgetGroup, ExperimentConfig, Goal, Method, TextTable,
+};
+use bugdoc_synth::{CauseScenario, SynthConfig};
+
+fn main() {
+    let args = BenchArgs::parse(12);
+    let (n_params, n_values) = args.synth_ranges();
+    for (label, scenario) in [
+        ("single parameter-comparator-value (Figures 2a-2c)", CauseScenario::SingleTriple),
+        ("single conjunction (Figures 2d-2f)", CauseScenario::SingleConjunction),
+        (
+            "disjunction of conjunctions (Figures 2g-2i)",
+            CauseScenario::DisjunctionOfConjunctions,
+        ),
+    ] {
+        let config = ExperimentConfig {
+            n_pipelines: args.pipelines,
+            seed: args.seed,
+            synth: SynthConfig {
+                scenario,
+                n_params,
+                n_values,
+                ..SynthConfig::default()
+            },
+            ..ExperimentConfig::new(scenario, Goal::FindOne)
+        };
+        let results = run_scenario(&config);
+
+        println!("== Figure 2 | FindOne | root cause: {label} ==");
+        let mut table = TextTable::new(&[
+            "budget group",
+            "mean budget",
+            "method",
+            "precision",
+            "recall",
+            "F-measure",
+        ]);
+        for group in &results.groups {
+            for &method in &Method::ALL {
+                let m = group.metrics(method, Goal::FindOne);
+                table.row(vec![
+                    budget_label(group.group),
+                    format!("{:.1}", group.mean_budget),
+                    method.label().to_string(),
+                    format!("{:.3}", m.precision),
+                    format!("{:.3}", m.recall),
+                    format!("{:.3}", m.f_measure),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+}
+
+fn budget_label(group: BudgetGroup) -> String {
+    group.label().to_string()
+}

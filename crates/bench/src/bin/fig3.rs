@@ -1,0 +1,51 @@
+//! Reproduces Figure 3 (paper §5.1): FindAll precision, recall, and
+//! F-measure when the root cause is a disjunction of conjunctions, with
+//! budget-matched methods.
+//!
+//! Usage: `fig3 [--pipelines N] [--seed S] [--full]`.
+
+use bugdoc_bench::BenchArgs;
+use bugdoc_eval::{run_scenario, ExperimentConfig, Goal, Method, TextTable};
+use bugdoc_synth::{CauseScenario, SynthConfig};
+
+fn main() {
+    let args = BenchArgs::parse(12);
+    let (n_params, n_values) = args.synth_ranges();
+    let scenario = CauseScenario::DisjunctionOfConjunctions;
+    let config = ExperimentConfig {
+        n_pipelines: args.pipelines,
+        seed: args.seed,
+        synth: SynthConfig {
+            scenario,
+            n_params,
+            n_values,
+            ..SynthConfig::default()
+        },
+        ..ExperimentConfig::new(scenario, Goal::FindAll)
+    };
+    let results = run_scenario(&config);
+
+    println!("== Figure 3 | FindAll | root cause: disjunction of conjunctions ==");
+    let mut table = TextTable::new(&[
+        "budget group",
+        "mean budget",
+        "method",
+        "precision",
+        "recall",
+        "F-measure",
+    ]);
+    for group in &results.groups {
+        for &method in &Method::ALL {
+            let m = group.metrics(method, Goal::FindAll);
+            table.row(vec![
+                group.group.label().to_string(),
+                format!("{:.1}", group.mean_budget),
+                method.label().to_string(),
+                format!("{:.3}", m.precision),
+                format!("{:.3}", m.recall),
+                format!("{:.3}", m.f_measure),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,43 @@
+//! Reproduces Figure 4 (paper §5.1): conciseness of explanations —
+//! (a) average number of parameters per asserted root cause, and
+//! (b) average log10 of asserted causes per actual definitive root cause —
+//! for each method, on the disjunction scenario.
+//!
+//! Usage: `fig4 [--pipelines N] [--seed S] [--full]`.
+
+use bugdoc_bench::BenchArgs;
+use bugdoc_eval::{run_scenario, ExperimentConfig, Goal, TextTable};
+use bugdoc_synth::{CauseScenario, SynthConfig};
+
+fn main() {
+    let args = BenchArgs::parse(12);
+    let (n_params, n_values) = args.synth_ranges();
+    let scenario = CauseScenario::DisjunctionOfConjunctions;
+    let config = ExperimentConfig {
+        n_pipelines: args.pipelines,
+        seed: args.seed,
+        synth: SynthConfig {
+            scenario,
+            n_params,
+            n_values,
+            ..SynthConfig::default()
+        },
+        ..ExperimentConfig::new(scenario, Goal::FindAll)
+    };
+    let results = run_scenario(&config);
+
+    println!("== Figure 4 | Conciseness of explanations ==");
+    let mut table = TextTable::new(&[
+        "method",
+        "params per asserted cause (4a)",
+        "log10 asserted per actual (4b)",
+    ]);
+    for (method, c) in results.conciseness_table() {
+        table.row(vec![
+            method.label().to_string(),
+            format!("{:.2}", c.params_per_cause),
+            format!("{:.3}", c.log_asserted_per_actual),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,40 @@
+//! Reproduces Figure 5 (paper §5.2): instances required by each algorithm as
+//! a function of the number of pipeline parameters. Shortcut and Stacked
+//! Shortcut grow linearly; DDT grows faster (worst-case exponential).
+//!
+//! Usage: `fig5 [--pipelines N] [--seed S]` (N = repeats per point).
+
+use bugdoc_bench::BenchArgs;
+use bugdoc_eval::{instances_vs_params, TextTable};
+
+fn main() {
+    let args = BenchArgs::parse(5);
+    let param_counts: Vec<usize> = (3..=15).step_by(2).collect();
+    let points = instances_vs_params(&param_counts, args.pipelines, args.seed);
+
+    println!("== Figure 5 | Instances executed vs number of parameters ==");
+    let mut table = TextTable::new(&["#params", "Shortcut", "Stacked Shortcut", "DDT"]);
+    for p in &points {
+        table.row(vec![
+            p.n_params.to_string(),
+            format!("{:.1}", p.shortcut),
+            format!("{:.1}", p.stacked),
+            format!("{:.1}", p.ddt),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Linear-fit slope sanity lines (the paper's claim: shortcut family is
+    // linear in |P|).
+    let slope = |f: fn(&bugdoc_eval::InstanceCount) -> f64| {
+        let first = &points[0];
+        let last = &points[points.len() - 1];
+        (f(last) - f(first)) / (last.n_params - first.n_params) as f64
+    };
+    println!(
+        "slopes (instances per extra parameter): shortcut {:.2}, stacked {:.2}, ddt {:.2}",
+        slope(|p| p.shortcut),
+        slope(|p| p.stacked),
+        slope(|p| p.ddt)
+    );
+}

@@ -1,0 +1,35 @@
+//! Reproduces Figure 6 (paper §5.2): scalability of Debugging Decision Trees
+//! (FindAll) as execution workers are added. The virtual clock measures the
+//! makespan of the verification batches at a fixed 20-minute instance cost,
+//! so the speedup reflects exactly what the paper's multi-core experiment
+//! measured on slow real pipelines.
+//!
+//! Usage: `fig6 [--pipelines N] [--seed S]` (N = repeats per point).
+
+use bugdoc_bench::BenchArgs;
+use bugdoc_eval::{ddt_speedup, TextTable};
+
+fn main() {
+    let args = BenchArgs::parse(4);
+    let worker_counts = [1, 2, 4, 8, 16];
+    let points = ddt_speedup(&worker_counts, args.pipelines, args.seed);
+
+    println!("== Figure 6 | DDT FindAll scalability vs worker count ==");
+    let mut table = TextTable::new(&[
+        "workers",
+        "virtual hours",
+        "instances",
+        "instances/core",
+        "speedup",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.workers.to_string(),
+            format!("{:.1}", p.sim_time_secs / 3600.0),
+            format!("{:.1}", p.instances),
+            format!("{:.1}", p.instances_per_core),
+            format!("{:.2}x", p.speedup),
+        ]);
+    }
+    println!("{}", table.render());
+}

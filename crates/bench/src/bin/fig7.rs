@@ -1,0 +1,147 @@
+//! Reproduces Figure 7 (paper §5.3): precision and recall of BugDoc (Stacked
+//! Shortcut + Debugging Decision Trees combined), Data X-Ray, and Explanation
+//! Tables on the real-world pipelines — Data Polygamy (crash analysis), GAN
+//! training (FID/mode collapse), and the DBSherlock anomaly classes
+//! (historical replay).
+//!
+//! Usage: `fig7 [--seed S] [--pipelines N]` (N = DBSherlock classes scored).
+
+use bugdoc_algorithms::{diagnose, BugDocConfig};
+use bugdoc_baselines::{dataxray, exptables};
+use bugdoc_bench::{real_world_comparison, BenchArgs, RealWorldScores};
+use bugdoc_engine::{Executor, ExecutorConfig, Pipeline};
+use bugdoc_eval::{find_all_metrics, score_assertions, PipelineScore, TextTable};
+use bugdoc_pipelines::{DataPolygamyPipeline, DbSherlockConfig, DbSherlockDataset, GanPipeline};
+use std::sync::Arc;
+
+fn main() {
+    let args = BenchArgs::parse(4);
+    let mut all: Vec<RealWorldScores> = Vec::new();
+
+    // Data Polygamy and GAN: executable simulators.
+    let dp = Arc::new(DataPolygamyPipeline::new());
+    let dp_truth = dp.truth().clone();
+    all.push(real_world_comparison(
+        "Data Polygamy",
+        dp,
+        &dp_truth,
+        args.seed.wrapping_add(1),
+    ));
+    let gan = Arc::new(GanPipeline::new());
+    let gan_truth = gan.truth().clone();
+    all.push(real_world_comparison(
+        "GAN Training",
+        gan,
+        &gan_truth,
+        args.seed.wrapping_add(2),
+    ));
+
+    // DBSherlock: historical replay, one problem per anomaly class.
+    let dataset = DbSherlockDataset::generate(&DbSherlockConfig {
+        seed: args.seed,
+        ..DbSherlockConfig::default()
+    });
+    for class in 0..args.pipelines.min(dataset.n_classes()) {
+        all.push(dbsherlock_class(&dataset, class));
+    }
+
+    println!("== Figure 7 | Real-world pipelines ==");
+    let mut table = TextTable::new(&[
+        "pipeline",
+        "method",
+        "actual",
+        "asserted",
+        "correct",
+        "BugDoc instances",
+    ]);
+    for s in &all {
+        for (method, score) in [
+            ("BugDoc", &s.bugdoc),
+            ("DataXRay", &s.dataxray),
+            ("ExpTables", &s.exptables),
+        ] {
+            table.row(vec![
+                s.name.clone(),
+                method.to_string(),
+                score.n_actual.to_string(),
+                score.n_asserted.to_string(),
+                score.n_correct.to_string(),
+                if method == "BugDoc" {
+                    s.new_executions.to_string()
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // Aggregate precision/recall across all real-world pipelines (the bar
+    // heights of Figure 7).
+    println!("Aggregate (FindAll formulas over all real-world pipelines):");
+    let mut agg = TextTable::new(&["method", "precision", "recall", "F-measure"]);
+    for (label, pick) in [
+        ("BugDoc", 0usize),
+        ("DataXRay", 1),
+        ("ExpTables", 2),
+    ] {
+        let scores: Vec<PipelineScore> = all
+            .iter()
+            .map(|s| match pick {
+                0 => s.bugdoc,
+                1 => s.dataxray,
+                _ => s.exptables,
+            })
+            .collect();
+        let m = find_all_metrics(&scores);
+        agg.row(vec![
+            label.to_string(),
+            format!("{:.3}", m.precision),
+            format!("{:.3}", m.recall),
+            format!("{:.3}", m.f_measure),
+        ]);
+    }
+    println!("{}", agg.render());
+
+    for s in &all {
+        println!("{} — BugDoc causes:", s.name);
+        for c in &s.bugdoc_causes {
+            println!("  {c}");
+        }
+    }
+}
+
+/// Runs one DBSherlock anomaly-class problem: historical replay with the
+/// 50% training provenance and the 25% budget pool.
+fn dbsherlock_class(dataset: &DbSherlockDataset, class: usize) -> RealWorldScores {
+    let problem = dataset.problem(class);
+    let space = problem.space.clone();
+    let exec = Executor::with_provenance(
+        Arc::new(problem.historical_pipeline()) as Arc<dyn Pipeline>,
+        ExecutorConfig {
+            workers: 5,
+            budget: None,
+        },
+        problem.initial_provenance(),
+    );
+    let diag = diagnose(&exec, &BugDocConfig::default());
+    let bugdoc_causes = match diag {
+        Ok(d) => d.causes.conjuncts().to_vec(),
+        Err(_) => Vec::new(),
+    };
+    let new_executions = exec.stats().new_executions;
+    let prov = exec.provenance();
+    let xray = dataxray::explain(&prov, &Default::default());
+    let et = exptables::explain(&prov, &Default::default());
+    RealWorldScores {
+        name: format!("DBSherlock class {class}"),
+        bugdoc: score_assertions(&space, &problem.truth, &bugdoc_causes),
+        dataxray: score_assertions(&space, &problem.truth, &xray),
+        exptables: score_assertions(&space, &problem.truth, &et),
+        bugdoc_causes: bugdoc_causes
+            .iter()
+            .map(|c| c.display(&space).to_string())
+            .collect(),
+        new_executions,
+    }
+}

@@ -1,0 +1,37 @@
+//! Runs every table/figure reproduction in sequence — the one-shot target
+//! behind `EXPERIMENTS.md`. Each section is also available as its own
+//! binary (`table1_2`, `fig2` … `dbsherlock_accuracy`, `ablations`).
+//!
+//! Usage: `run_all [--pipelines N] [--seed S] [--full]` — the flags are
+//! forwarded to each reproduction via the environment-free `BenchArgs`
+//! convention (they all parse the same argv).
+
+use std::process::Command;
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let bin_dir = exe.parent().expect("bin dir");
+
+    for target in [
+        "table1_2",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "dbsherlock_accuracy",
+        "ablations",
+    ] {
+        println!("\n################ {target} ################\n");
+        let status = Command::new(bin_dir.join(target))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
+        if !status.success() {
+            eprintln!("{target} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

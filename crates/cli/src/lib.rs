@@ -1,0 +1,340 @@
+//! # bugdoc-cli
+//!
+//! The `bugdoc` command-line tool: point it at a *spec file* describing a
+//! parameter space, a command to execute per configuration, and an
+//! evaluation procedure, plus (optionally) a provenance TSV of runs you
+//! already have — and it executes the instances BugDoc's algorithms need and
+//! prints the minimal definitive root causes of failure.
+//!
+//! ```text
+//! bugdoc diagnose --spec pipeline.spec [--provenance runs.tsv]
+//!                 [--algorithm combined|stacked|ddt] [--mode one|all]
+//!                 [--seed N] [--save-provenance out.tsv]
+//! bugdoc explain  --spec pipeline.spec --provenance runs.tsv
+//!                 [--method dataxray|exptables]     # analysis only, no runs
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod spec;
+
+use bugdoc_algorithms::{diagnose, BugDocConfig, DdtConfig, DdtMode, StackedConfig, Strategy};
+use bugdoc_baselines::{dataxray, exptables};
+use bugdoc_core::ProvenanceStore;
+use bugdoc_engine::{CommandPipeline, Executor, ExecutorConfig, Pipeline};
+use spec::Spec;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Parsed command-line request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run the debugging algorithms (may execute new instances).
+    Diagnose {
+        /// Spec file path.
+        spec: String,
+        /// Optional provenance TSV path.
+        provenance: Option<String>,
+        /// Algorithm selection.
+        strategy: Strategy,
+        /// FindOne or FindAll.
+        mode: DdtMode,
+        /// RNG seed.
+        seed: u64,
+        /// Write the final provenance here.
+        save_provenance: Option<String>,
+    },
+    /// Run a baseline explainer on existing provenance (no executions).
+    Explain {
+        /// Spec file path.
+        spec: String,
+        /// Provenance TSV path.
+        provenance: String,
+        /// `dataxray` or `exptables`.
+        method: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bugdoc — find minimal definitive root causes of pipeline failures
+
+USAGE:
+  bugdoc diagnose --spec FILE [--provenance FILE] [--algorithm combined|stacked|ddt]
+                  [--mode one|all] [--seed N] [--save-provenance FILE]
+  bugdoc explain  --spec FILE --provenance FILE [--method dataxray|exptables]
+  bugdoc help
+
+The spec file declares parameters, the command template, and the evaluation:
+  param feed categorical internal acme datastream
+  param window ordinal 3 6 12
+  command ./run.sh --feed {feed} --window {window}
+  eval stdout_le 0.15      # or: exit_code | stdout_ge <t>
+  workers 5
+  budget 200
+";
+
+/// Parses argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Request, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Request::Help);
+    };
+    let mut spec = None;
+    let mut provenance = None;
+    let mut strategy = Strategy::Combined;
+    let mut mode = DdtMode::FindAll;
+    let mut seed = 0u64;
+    let mut save_provenance = None;
+    let mut method = "dataxray".to_string();
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--spec" => spec = Some(value(&mut i)?),
+            "--provenance" => provenance = Some(value(&mut i)?),
+            "--save-provenance" => save_provenance = Some(value(&mut i)?),
+            "--seed" => {
+                seed = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--algorithm" => {
+                strategy = match value(&mut i)?.as_str() {
+                    "combined" => Strategy::Combined,
+                    "stacked" => Strategy::StackedShortcutOnly,
+                    "ddt" => Strategy::DdtOnly,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                }
+            }
+            "--mode" => {
+                mode = match value(&mut i)?.as_str() {
+                    "one" => DdtMode::FindOne,
+                    "all" => DdtMode::FindAll,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--method" => method = value(&mut i)?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Request::Help),
+        "diagnose" => Ok(Request::Diagnose {
+            spec: spec.ok_or("diagnose needs --spec")?,
+            provenance,
+            strategy,
+            mode,
+            seed,
+            save_provenance,
+        }),
+        "explain" => Ok(Request::Explain {
+            spec: spec.ok_or("explain needs --spec")?,
+            provenance: provenance.ok_or("explain needs --provenance")?,
+            method,
+        }),
+        other => Err(format!("unknown command {other:?} (try `bugdoc help`)")),
+    }
+}
+
+fn load_spec(path: &str) -> Result<Spec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    spec::parse_spec(&text).map_err(|e| e.to_string())
+}
+
+fn load_provenance(spec: &Spec, path: Option<&str>) -> Result<ProvenanceStore, String> {
+    match path {
+        None => Ok(ProvenanceStore::new(spec.space.clone())),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            ProvenanceStore::from_tsv(spec.space.clone(), &text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Executes a request, returning the report text to print.
+pub fn run(request: Request) -> Result<String, String> {
+    match request {
+        Request::Help => Ok(USAGE.to_string()),
+        Request::Diagnose {
+            spec,
+            provenance,
+            strategy,
+            mode,
+            seed,
+            save_provenance,
+        } => {
+            let spec = load_spec(&spec)?;
+            let prov = load_provenance(&spec, provenance.as_deref())?;
+            let pipeline = CommandPipeline::new(
+                spec.space.clone(),
+                spec.command.clone(),
+                spec.eval.clone(),
+            );
+            let exec = Executor::with_provenance(
+                Arc::new(pipeline) as Arc<dyn Pipeline>,
+                ExecutorConfig {
+                    workers: spec.workers,
+                    budget: spec.budget,
+                },
+                prov,
+            );
+            let config = BugDocConfig {
+                strategy,
+                mode,
+                stacked: StackedConfig {
+                    seed,
+                    ..StackedConfig::default()
+                },
+                ddt: DdtConfig {
+                    mode,
+                    seed,
+                    // The CLI may start from an empty history: probe harder
+                    // so rare failure regions are still discovered.
+                    enrich_initial: 32,
+                    exploration_rounds: 3,
+                    ..DdtConfig::default()
+                },
+            };
+            let diagnosis = diagnose(&exec, &config).map_err(|e| e.to_string())?;
+
+            let mut out = String::new();
+            if diagnosis.causes.is_empty() {
+                let _ = writeln!(out, "no definitive root cause asserted");
+            } else {
+                let _ = writeln!(out, "minimal definitive root cause(s):");
+                for cause in diagnosis.causes.conjuncts() {
+                    let _ = writeln!(out, "  {}", cause.display(&spec.space));
+                }
+            }
+            let stats = exec.stats();
+            let _ = writeln!(
+                out,
+                "instances executed: {} new, {} answered from provenance",
+                stats.new_executions, stats.cache_hits
+            );
+            if let Some(path) = save_provenance {
+                std::fs::write(&path, exec.provenance().to_tsv())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let _ = writeln!(out, "provenance written to {path}");
+            }
+            Ok(out)
+        }
+        Request::Explain {
+            spec,
+            provenance,
+            method,
+        } => {
+            let spec = load_spec(&spec)?;
+            let prov = load_provenance(&spec, Some(&provenance))?;
+            let causes = match method.as_str() {
+                "dataxray" => dataxray::explain(&prov, &Default::default()),
+                "exptables" => exptables::explain(&prov, &Default::default()),
+                other => return Err(format!("unknown method {other:?}")),
+            };
+            let mut out = String::new();
+            let _ = writeln!(out, "{method} explanation(s) over {} runs:", prov.len());
+            if causes.is_empty() {
+                let _ = writeln!(out, "  (none)");
+            }
+            for cause in &causes {
+                let _ = writeln!(out, "  {}", cause.display(&spec.space));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_diagnose_defaults() {
+        let req = parse_args(&s(&["diagnose", "--spec", "p.spec"])).unwrap();
+        match req {
+            Request::Diagnose {
+                spec,
+                strategy,
+                mode,
+                ..
+            } => {
+                assert_eq!(spec, "p.spec");
+                assert_eq!(strategy, Strategy::Combined);
+                assert_eq!(mode, DdtMode::FindAll);
+            }
+            _ => panic!("wrong request"),
+        }
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let req = parse_args(&s(&[
+            "diagnose",
+            "--spec",
+            "p.spec",
+            "--provenance",
+            "runs.tsv",
+            "--algorithm",
+            "ddt",
+            "--mode",
+            "one",
+            "--seed",
+            "7",
+            "--save-provenance",
+            "out.tsv",
+        ]))
+        .unwrap();
+        match req {
+            Request::Diagnose {
+                provenance,
+                strategy,
+                mode,
+                seed,
+                save_provenance,
+                ..
+            } => {
+                assert_eq!(provenance.as_deref(), Some("runs.tsv"));
+                assert_eq!(strategy, Strategy::DdtOnly);
+                assert_eq!(mode, DdtMode::FindOne);
+                assert_eq!(seed, 7);
+                assert_eq!(save_provenance.as_deref(), Some("out.tsv"));
+            }
+            _ => panic!("wrong request"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&s(&["diagnose"])).is_err());
+        assert!(parse_args(&s(&["explain", "--spec", "x"])).is_err());
+        assert!(parse_args(&s(&["diagnose", "--spec", "x", "--algorithm", "magic"])).is_err());
+        assert!(parse_args(&s(&["frobnicate"])).is_err());
+        assert!(parse_args(&s(&["diagnose", "--spec"])).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(matches!(parse_args(&[]).unwrap(), Request::Help));
+        assert!(matches!(
+            parse_args(&s(&["help"])).unwrap(),
+            Request::Help
+        ));
+        assert!(run(Request::Help).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `bugdoc` binary: see [`bugdoc_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bugdoc_cli::parse_args(&args).and_then(bugdoc_cli::run) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

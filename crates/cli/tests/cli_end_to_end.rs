@@ -1,0 +1,102 @@
+//! End-to-end CLI test: a real shell script pipeline debugged through the
+//! spec file, provenance TSV round-trip included.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bugdoc-cli-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A pipeline that fails exactly when the feed is acme at weekly resolution.
+fn write_fixture(dir: &PathBuf) -> (String, String) {
+    let script = dir.join("run.sh");
+    fs::write(
+        &script,
+        "#!/bin/sh\nif [ \"$BUGDOC_FEED\" = acme ] && [ \"$BUGDOC_RESOLUTION\" = weekly ]; then exit 1; fi\nexit 0\n",
+    )
+    .unwrap();
+    // Make it executable.
+    use std::os::unix::fs::PermissionsExt;
+    fs::set_permissions(&script, fs::Permissions::from_mode(0o755)).unwrap();
+
+    let spec = dir.join("pipeline.spec");
+    fs::write(
+        &spec,
+        format!(
+            "param feed categorical internal acme datastream\n\
+             param resolution categorical monthly weekly daily\n\
+             param window ordinal 3 6 12\n\
+             command {} \n\
+             eval exit_code\n\
+             workers 2\n",
+            script.display()
+        ),
+    )
+    .unwrap();
+    (
+        spec.display().to_string(),
+        dir.join("out.tsv").display().to_string(),
+    )
+}
+
+#[test]
+fn diagnose_finds_the_planted_cause() {
+    let dir = workdir("diagnose");
+    let (spec, out_tsv) = write_fixture(&dir);
+    let args: Vec<String> = [
+        "diagnose",
+        "--spec",
+        &spec,
+        "--save-provenance",
+        &out_tsv,
+        "--seed",
+        "3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let report = bugdoc_cli::run(bugdoc_cli::parse_args(&args).unwrap()).unwrap();
+    assert!(
+        report.contains("feed = acme") && report.contains("resolution = weekly"),
+        "report:\n{report}"
+    );
+    // The saved provenance parses back and contains both outcomes.
+    let text = fs::read_to_string(&out_tsv).unwrap();
+    assert!(text.contains("succeed") && text.contains("fail"));
+
+    // Explain mode runs on the saved provenance without executing anything.
+    let args: Vec<String> = [
+        "explain",
+        "--spec",
+        &spec,
+        "--provenance",
+        &out_tsv,
+        "--method",
+        "exptables",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let explain = bugdoc_cli::run(bugdoc_cli::parse_args(&args).unwrap()).unwrap();
+    assert!(explain.contains("exptables explanation"), "{explain}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_spec_is_reported_with_line() {
+    let dir = workdir("badspec");
+    let spec = dir.join("bad.spec");
+    fs::write(&spec, "param x categorical onlyone\ncommand p\neval exit_code\n").unwrap();
+    let args: Vec<String> = ["diagnose", "--spec", &spec.display().to_string()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let err = bugdoc_cli::run(bugdoc_cli::parse_args(&args).unwrap()).unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}

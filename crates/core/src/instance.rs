@@ -1,0 +1,262 @@
+//! Pipeline instances: complete parameter-value assignments.
+//!
+//! An instance `CP_i` assigns one value to every parameter (paper §3 Def. 1,
+//! `CP_i[p] = v`). Instances are the unit of cost in BugDoc: the problem's
+//! cost measure is "the number of executed pipeline instances beyond any
+//! given, previously run, instances".
+
+use crate::param::{ParamId, ParamSpace};
+use crate::value::Value;
+use std::fmt;
+
+/// A complete assignment of values to parameters, stored densely by
+/// [`ParamId`] index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instance {
+    values: Box<[Value]>,
+}
+
+impl Instance {
+    /// Creates an instance from dense values (one per parameter, in id order).
+    pub fn new(values: Vec<Value>) -> Self {
+        Instance {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Creates an instance from `(name, value)` pairs against a space. Every
+    /// parameter must be assigned exactly once and every value must belong to
+    /// the parameter's universe; anything else is a caller bug and panics.
+    pub fn from_pairs<'a>(
+        space: &ParamSpace,
+        pairs: impl IntoIterator<Item = (&'a str, Value)>,
+    ) -> Self {
+        let mut slots: Vec<Option<Value>> = vec![None; space.len()];
+        for (name, v) in pairs {
+            let id = space
+                .by_name(name)
+                .unwrap_or_else(|| panic!("unknown parameter {name:?}"));
+            assert!(
+                space.domain(id).contains(&v),
+                "value {v} outside the universe of parameter {name:?}"
+            );
+            assert!(
+                slots[id.index()].replace(v).is_none(),
+                "parameter {name:?} assigned twice"
+            );
+        }
+        let values: Vec<Value> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("parameter index {i} not assigned")))
+            .collect();
+        Instance::new(values)
+    }
+
+    /// Number of parameters assigned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the zero-parameter instance.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value assigned to a parameter: `CP_i[p]`.
+    pub fn get(&self, p: ParamId) -> &Value {
+        &self.values[p.index()]
+    }
+
+    /// All values in id order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Returns a copy with parameter `p` reassigned to `v` — the elementary
+    /// move of the Shortcut algorithm (`CP_current'[p] ← CP_g[p]`).
+    pub fn with(&self, p: ParamId, v: Value) -> Self {
+        let mut values = self.values.to_vec();
+        values[p.index()] = v;
+        Instance::new(values)
+    }
+
+    /// True if the two instances disagree on *every* parameter — the paper's
+    /// Disjointness Condition (Def. 6): `CP_x[p] ≠ CP_y[p] ∀p`.
+    pub fn is_disjoint_from(&self, other: &Instance) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .all(|(a, b)| a != b)
+    }
+
+    /// Number of parameters on which the two instances differ. The
+    /// "most-different" heuristic (used when the Disjointness Condition cannot
+    /// be met, paper §4.1) maximizes this.
+    pub fn hamming_distance(&self, other: &Instance) -> usize {
+        debug_assert_eq!(self.len(), other.len());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Parameters on which the two instances agree, with the shared value —
+    /// the intersection `CP_current ∩ CP_f` computed at the end of Shortcut.
+    pub fn shared_pairs<'a>(
+        &'a self,
+        other: &'a Instance,
+    ) -> impl Iterator<Item = (ParamId, &'a Value)> + 'a {
+        debug_assert_eq!(self.len(), other.len());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a == b)
+            .map(|(i, (a, _))| (ParamId(i as u32), a))
+    }
+
+    /// Renders the instance with parameter names, e.g.
+    /// `{Dataset=Iris, Estimator=Gradient Boosting, Library Version=2}`.
+    pub fn display<'a>(&'a self, space: &'a ParamSpace) -> InstanceDisplay<'a> {
+        InstanceDisplay {
+            instance: self,
+            space,
+        }
+    }
+}
+
+/// Named rendering of an [`Instance`]; see [`Instance::display`].
+pub struct InstanceDisplay<'a> {
+    instance: &'a Instance,
+    space: &'a ParamSpace,
+}
+
+impl fmt::Display for InstanceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (id, def)) in self.space.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", def.name(), self.instance.get(id))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSpace;
+
+    fn space3() -> std::sync::Arc<ParamSpace> {
+        ParamSpace::builder()
+            .categorical("Dataset", ["Iris", "Digits", "Images"])
+            .categorical("Estimator", ["LR", "DT", "GB"])
+            .ordinal("Version", [1, 2])
+            .build()
+    }
+
+    #[test]
+    fn from_pairs_roundtrip() {
+        let s = space3();
+        let i = Instance::from_pairs(
+            &s,
+            [
+                ("Version", Value::from(2)),
+                ("Dataset", Value::from("Iris")),
+                ("Estimator", Value::from("GB")),
+            ],
+        );
+        assert_eq!(i.get(s.by_name("Dataset").unwrap()), &Value::from("Iris"));
+        assert_eq!(i.get(s.by_name("Version").unwrap()), &Value::from(2));
+        assert_eq!(
+            i.display(&s).to_string(),
+            "{Dataset=Iris, Estimator=GB, Version=2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not assigned")]
+    fn from_pairs_missing_param_panics() {
+        let s = space3();
+        let _ = Instance::from_pairs(&s, [("Dataset", Value::from("Iris"))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn from_pairs_unknown_value_panics() {
+        let s = space3();
+        let _ = Instance::from_pairs(
+            &s,
+            [
+                ("Dataset", Value::from("Wine")),
+                ("Estimator", Value::from("GB")),
+                ("Version", Value::from(1)),
+            ],
+        );
+    }
+
+    #[test]
+    fn disjointness_and_hamming() {
+        let s = space3();
+        let f = Instance::from_pairs(
+            &s,
+            [
+                ("Dataset", "Iris".into()),
+                ("Estimator", "GB".into()),
+                ("Version", 2.into()),
+            ],
+        );
+        let g = Instance::from_pairs(
+            &s,
+            [
+                ("Dataset", "Digits".into()),
+                ("Estimator", "DT".into()),
+                ("Version", 1.into()),
+            ],
+        );
+        assert!(f.is_disjoint_from(&g));
+        assert_eq!(f.hamming_distance(&g), 3);
+        let h = g.with(s.by_name("Version").unwrap(), 2.into());
+        assert!(!f.is_disjoint_from(&h));
+        assert_eq!(f.hamming_distance(&h), 2);
+    }
+
+    #[test]
+    fn shared_pairs_is_intersection() {
+        let s = space3();
+        let a = Instance::from_pairs(
+            &s,
+            [
+                ("Dataset", "Iris".into()),
+                ("Estimator", "GB".into()),
+                ("Version", 2.into()),
+            ],
+        );
+        let b = a.with(s.by_name("Dataset").unwrap(), "Digits".into());
+        let shared: Vec<_> = a.shared_pairs(&b).collect();
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared[0].0, s.by_name("Estimator").unwrap());
+        assert_eq!(shared[1].1, &Value::from(2));
+    }
+
+    #[test]
+    fn with_does_not_mutate_original() {
+        let s = space3();
+        let a = Instance::from_pairs(
+            &s,
+            [
+                ("Dataset", "Iris".into()),
+                ("Estimator", "GB".into()),
+                ("Version", 2.into()),
+            ],
+        );
+        let b = a.with(s.by_name("Version").unwrap(), 1.into());
+        assert_eq!(a.get(s.by_name("Version").unwrap()), &Value::from(2));
+        assert_eq!(b.get(s.by_name("Version").unwrap()), &Value::from(1));
+    }
+}

@@ -1,0 +1,123 @@
+//! Evaluation outcomes.
+//!
+//! The evaluation procedure `E` maps an instance to `succeed` if its results
+//! are acceptable and `fail` otherwise (paper §3, Def. 2). Evaluation is
+//! normally code inspecting some property of the result — e.g. "score ≥ 0.6"
+//! in the Figure-1 pipeline — so [`EvalResult`] optionally carries the raw
+//! score alongside the binary outcome.
+
+use std::fmt;
+
+/// The binary evaluation `E(CP_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The results are acceptable.
+    Succeed,
+    /// The results are erroneous, unexpected, or the run crashed.
+    Fail,
+}
+
+impl Outcome {
+    /// True for [`Outcome::Fail`].
+    pub fn is_fail(self) -> bool {
+        self == Outcome::Fail
+    }
+
+    /// True for [`Outcome::Succeed`].
+    pub fn is_succeed(self) -> bool {
+        self == Outcome::Succeed
+    }
+
+    /// Builds an outcome from a predicate over the run's result, mirroring how
+    /// evaluation procedures are written in practice: `Outcome::from_check(score >= 0.6)`.
+    pub fn from_check(acceptable: bool) -> Self {
+        if acceptable {
+            Outcome::Succeed
+        } else {
+            Outcome::Fail
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Succeed => write!(f, "succeed"),
+            Outcome::Fail => write!(f, "fail"),
+        }
+    }
+}
+
+/// A full evaluation result: the binary outcome plus, when the pipeline
+/// produces one, the underlying quantitative score (e.g. an F-measure or FID).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// The binary evaluation.
+    pub outcome: Outcome,
+    /// The raw score the evaluation procedure thresholded, if any.
+    pub score: Option<f64>,
+}
+
+impl EvalResult {
+    /// A result with no underlying score (e.g. crash/no-crash pipelines).
+    pub fn of(outcome: Outcome) -> Self {
+        EvalResult {
+            outcome,
+            score: None,
+        }
+    }
+
+    /// A result produced by thresholding `score` from below: succeed iff
+    /// `score >= threshold`.
+    pub fn from_score_at_least(score: f64, threshold: f64) -> Self {
+        EvalResult {
+            outcome: Outcome::from_check(score >= threshold),
+            score: Some(score),
+        }
+    }
+
+    /// A result produced by thresholding `score` from above: succeed iff
+    /// `score <= threshold` (e.g. FID in the GAN pipeline, paper §5.3).
+    pub fn from_score_at_most(score: f64, threshold: f64) -> Self {
+        EvalResult {
+            outcome: Outcome::from_check(score <= threshold),
+            score: Some(score),
+        }
+    }
+}
+
+impl From<Outcome> for EvalResult {
+    fn from(outcome: Outcome) -> Self {
+        EvalResult::of(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_check() {
+        assert_eq!(Outcome::from_check(true), Outcome::Succeed);
+        assert_eq!(Outcome::from_check(false), Outcome::Fail);
+        assert!(Outcome::Fail.is_fail());
+        assert!(!Outcome::Fail.is_succeed());
+    }
+
+    #[test]
+    fn threshold_constructors() {
+        // Figure-1 evaluation: succeed iff score >= 0.6.
+        assert!(EvalResult::from_score_at_least(0.9, 0.6).outcome.is_succeed());
+        assert!(EvalResult::from_score_at_least(0.2, 0.6).outcome.is_fail());
+        assert!(EvalResult::from_score_at_least(0.6, 0.6).outcome.is_succeed());
+        // GAN evaluation: succeed iff FID <= threshold.
+        assert!(EvalResult::from_score_at_most(30.0, 50.0).outcome.is_succeed());
+        assert!(EvalResult::from_score_at_most(120.0, 50.0).outcome.is_fail());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Outcome::Succeed.to_string(), "succeed");
+        assert_eq!(Outcome::Fail.to_string(), "fail");
+    }
+}

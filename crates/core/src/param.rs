@@ -1,0 +1,458 @@
+//! Parameter definitions and parameter spaces.
+//!
+//! A computational pipeline `CP` exposes a set of manipulable parameters `P`
+//! (hyperparameters, input data selectors, program versions, modules — paper
+//! §3 Def. 1). Each parameter has a finite *value universe* `U_p`: the set of
+//! values assigned by any instance so far, optionally expanded by an explicit
+//! domain declaration ("parameter satisfaction can take integer values between
+//! 1 and 10").
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a parameter within a [`ParamSpace`]. Stable for the lifetime of
+/// the space; instances store values densely by this index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ParamId(pub u32);
+
+impl ParamId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Whether a domain is ordered. Ordinal domains admit the `≤` and `>`
+/// comparators in root causes; categorical domains admit only `=` and `≠`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// Ordered values (temperatures, learning rates, versions).
+    Ordinal,
+    /// Unordered labels (colors, estimator names).
+    Categorical,
+}
+
+/// The finite value universe of one parameter.
+///
+/// Values are stored deduplicated; ordinal domains are kept sorted so that a
+/// value's domain index is also its rank, which the canonical root-cause form
+/// exploits (prefix sets ⇔ `≤` predicates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    kind: DomainKind,
+    values: Vec<Value>,
+}
+
+impl Domain {
+    /// Builds an ordinal (sorted, deduplicated) domain.
+    pub fn ordinal(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut values: Vec<Value> = values.into_iter().collect();
+        values.sort();
+        values.dedup();
+        Domain {
+            kind: DomainKind::Ordinal,
+            values,
+        }
+    }
+
+    /// Builds a categorical (deduplicated, insertion-ordered) domain.
+    pub fn categorical(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut seen = Vec::new();
+        for v in values {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        Domain {
+            kind: DomainKind::Categorical,
+            values: seen,
+        }
+    }
+
+    /// Domain kind.
+    pub fn kind(&self) -> DomainKind {
+        self.kind
+    }
+
+    /// True for ordinal domains.
+    pub fn is_ordinal(&self) -> bool {
+        self.kind == DomainKind::Ordinal
+    }
+
+    /// Number of values in the universe.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the universe is empty (a degenerate space).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values, in domain order (sorted for ordinal domains).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at a domain index.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The domain index of a value, if present.
+    pub fn index_of(&self, v: &Value) -> Option<usize> {
+        if self.is_ordinal() {
+            self.values.binary_search(v).ok()
+        } else {
+            self.values.iter().position(|x| x == v)
+        }
+    }
+
+    /// True if the value belongs to the universe.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.index_of(v).is_some()
+    }
+
+    /// Extends the universe with a newly observed value (paper §3: `U_p` grows
+    /// as new instances assign new values). Returns the value's domain index.
+    /// Ordinal domains stay sorted.
+    pub fn observe(&mut self, v: Value) -> usize {
+        if let Some(i) = self.index_of(&v) {
+            return i;
+        }
+        if self.is_ordinal() {
+            let pos = self.values.partition_point(|x| x < &v);
+            self.values.insert(pos, v);
+            pos
+        } else {
+            self.values.push(v);
+            self.values.len() - 1
+        }
+    }
+}
+
+/// One manipulable parameter: a name and a value universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    name: String,
+    domain: Domain,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        ParamDef {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's value universe.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Mutable access to the universe (for [`Domain::observe`]).
+    pub fn domain_mut(&mut self) -> &mut Domain {
+        &mut self.domain
+    }
+}
+
+/// The full parameter space of a pipeline: the universe `U = {(p, U_p)}`.
+///
+/// Shared immutably (`Arc<ParamSpace>`) between the execution engine, the
+/// provenance store, and the debugging algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+}
+
+impl ParamSpace {
+    /// Creates a space from parameter definitions. Panics on duplicate names
+    /// or empty domains — both are construction bugs, not runtime conditions.
+    pub fn new(params: Vec<ParamDef>) -> Self {
+        for (i, p) in params.iter().enumerate() {
+            assert!(
+                !p.domain().is_empty(),
+                "parameter {:?} has an empty value universe",
+                p.name()
+            );
+            assert!(
+                !params[..i].iter().any(|q| q.name() == p.name()),
+                "duplicate parameter name {:?}",
+                p.name()
+            );
+        }
+        ParamSpace { params }
+    }
+
+    /// A fluent builder.
+    pub fn builder() -> ParamSpaceBuilder {
+        ParamSpaceBuilder { params: Vec::new() }
+    }
+
+    /// Number of parameters `|P|`.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The definition of a parameter.
+    pub fn param(&self, id: ParamId) -> &ParamDef {
+        &self.params[id.index()]
+    }
+
+    /// The domain of a parameter.
+    pub fn domain(&self, id: ParamId) -> &Domain {
+        self.params[id.index()].domain()
+    }
+
+    /// Looks a parameter up by name.
+    pub fn by_name(&self, name: &str) -> Option<ParamId> {
+        self.params
+            .iter()
+            .position(|p| p.name() == name)
+            .map(|i| ParamId(i as u32))
+    }
+
+    /// Iterates over all parameter ids in index order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.params.len() as u32).map(ParamId)
+    }
+
+    /// Iterates over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &ParamDef)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i as u32), p))
+    }
+
+    /// Size of the Cartesian product of all domains: the number of distinct
+    /// pipeline instances. Saturates at `u128::MAX` (a 15-parameter, 30-value
+    /// space is ~10^22, well within range).
+    pub fn total_configurations(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.domain().len() as u128)
+            .try_fold(1u128, |acc, n| acc.checked_mul(n))
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Lazily enumerates every instance in the space, in lexicographic order
+    /// of domain indices. Intended for *small* spaces (exact semantic checks
+    /// in tests and minimizers); real spaces are explored by sampling —
+    /// exhaustive enumeration is exactly the combinatorial explosion BugDoc
+    /// exists to avoid (paper §4).
+    pub fn instances(&self) -> InstanceIter<'_> {
+        InstanceIter {
+            space: self,
+            indices: vec![0; self.params.len()],
+            done: self.params.iter().any(|p| p.domain().is_empty()),
+        }
+    }
+}
+
+/// Lazy iterator over all instances of a space; see [`ParamSpace::instances`].
+pub struct InstanceIter<'a> {
+    space: &'a ParamSpace,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for InstanceIter<'_> {
+    type Item = crate::instance::Instance;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let values: Vec<Value> = self
+            .indices
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| self.space.params[p].domain().value(i).clone())
+            .collect();
+        // Advance the mixed-radix counter.
+        let mut carry = true;
+        for (p, idx) in self.indices.iter_mut().enumerate().rev() {
+            if !carry {
+                break;
+            }
+            *idx += 1;
+            if *idx == self.space.params[p].domain().len() {
+                *idx = 0;
+            } else {
+                carry = false;
+            }
+        }
+        if carry {
+            self.done = true;
+        }
+        Some(crate::instance::Instance::new(values))
+    }
+}
+
+/// Builder for [`ParamSpace`].
+pub struct ParamSpaceBuilder {
+    params: Vec<ParamDef>,
+}
+
+impl ParamSpaceBuilder {
+    /// Adds an ordinal parameter.
+    pub fn ordinal(
+        mut self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> Self {
+        self.params.push(ParamDef::new(
+            name,
+            Domain::ordinal(values.into_iter().map(Into::into)),
+        ));
+        self
+    }
+
+    /// Adds a categorical parameter.
+    pub fn categorical(
+        mut self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> Self {
+        self.params.push(ParamDef::new(
+            name,
+            Domain::categorical(values.into_iter().map(Into::into)),
+        ));
+        self
+    }
+
+    /// Adds a boolean parameter (`{false, true}`, ordinal).
+    pub fn boolean(self, name: impl Into<String>) -> Self {
+        self.ordinal(name, [false, true])
+    }
+
+    /// Finalizes the space.
+    pub fn build(self) -> Arc<ParamSpace> {
+        Arc::new(ParamSpace::new(self.params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinal_domain_sorts_and_dedups() {
+        let d = Domain::ordinal([3, 1, 2, 1].map(Value::from));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values(), &[1.into(), 2.into(), 3.into()]);
+        assert_eq!(d.index_of(&2.into()), Some(1));
+    }
+
+    #[test]
+    fn categorical_domain_preserves_order() {
+        let d = Domain::categorical(["b", "a", "b"].map(Value::from));
+        assert_eq!(d.values(), &["b".into(), "a".into()]);
+        assert_eq!(d.index_of(&"a".into()), Some(1));
+        assert!(!d.contains(&"c".into()));
+    }
+
+    #[test]
+    fn observe_grows_universe() {
+        let mut d = Domain::ordinal([1, 3].map(Value::from));
+        assert_eq!(d.observe(2.into()), 1);
+        assert_eq!(d.values(), &[1.into(), 2.into(), 3.into()]);
+        // Re-observing is idempotent.
+        assert_eq!(d.observe(2.into()), 1);
+        assert_eq!(d.len(), 3);
+
+        let mut c = Domain::categorical(["x"].map(Value::from));
+        assert_eq!(c.observe("y".into()), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn space_lookup_and_size() {
+        let space = ParamSpace::builder()
+            .categorical("Dataset", ["Iris", "Digits", "Images"])
+            .categorical(
+                "Estimator",
+                ["Logistic Regression", "Decision Tree", "Gradient Boosting"],
+            )
+            .ordinal("Library Version", [1.0, 2.0])
+            .build();
+        assert_eq!(space.len(), 3);
+        assert_eq!(space.total_configurations(), 18);
+        let est = space.by_name("Estimator").unwrap();
+        assert_eq!(space.param(est).name(), "Estimator");
+        assert!(space.by_name("nope").is_none());
+        assert_eq!(space.ids().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        ParamSpace::builder().boolean("x").boolean("x").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value universe")]
+    fn empty_domain_rejected() {
+        ParamSpace::new(vec![ParamDef::new("p", Domain::ordinal(Vec::<Value>::new()))]);
+    }
+
+    #[test]
+    fn total_configurations_saturates() {
+        let mut params = Vec::new();
+        for i in 0..200 {
+            params.push(ParamDef::new(
+                format!("p{i}"),
+                Domain::ordinal((0..30).map(Value::from)),
+            ));
+        }
+        let space = ParamSpace::new(params);
+        assert_eq!(space.total_configurations(), u128::MAX);
+    }
+}
+
+#[cfg(test)]
+mod instance_iter_tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_full_product() {
+        let space = ParamSpace::builder()
+            .ordinal("a", [1, 2])
+            .categorical("b", ["x", "y", "z"])
+            .build();
+        let all: Vec<_> = space.instances().collect();
+        assert_eq!(all.len(), 6);
+        // Lexicographic by domain index: a=1 block first.
+        assert_eq!(all[0].values(), &[1.into(), "x".into()]);
+        assert_eq!(all[5].values(), &[2.into(), "z".into()]);
+        // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn single_param_space() {
+        let space = ParamSpace::builder().ordinal("a", [1, 2, 3]).build();
+        assert_eq!(space.instances().count(), 3);
+    }
+}

@@ -1,0 +1,650 @@
+//! A full (unpruned) binary decision tree over pipeline instances.
+//!
+//! "An inner node of the decision tree is a triple (Parameter, Comparator,
+//! Value)" (paper §4.2). BugDoc "build[s] a complete decision tree, i.e.,
+//! with no pruning", because the tree is not a predictor: it is a device for
+//! discovering short paths to pure-`fail` leaves — the *suspects*.
+//!
+//! The same learner, with a depth cap and per-node feature sampling, serves
+//! as the base learner of the random-forest surrogate used by the SMAC
+//! baseline (see [`crate::forest`]).
+
+use bugdoc_core::{
+    Comparator, Conjunction, DomainKind, Instance, ParamId, ParamSpace, Predicate,
+};
+use std::fmt::Write as _;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (`None` = grow until pure — the DDT setting).
+    pub max_depth: Option<usize>,
+    /// Minimum rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// If set, the number of parameters sampled (without replacement) as
+    /// split candidates at each node — the random-forest setting. `None`
+    /// considers every parameter (deterministic, the DDT setting).
+    pub feature_subset: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: None,
+            min_samples_split: 2,
+            feature_subset: None,
+        }
+    }
+}
+
+/// Summary of the labels reaching a leaf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafInfo {
+    /// Number of training rows at the leaf.
+    pub n: usize,
+    /// Mean label. With fail=1/succeed=0 labels this is the failure rate.
+    pub mean: f64,
+    /// True if all labels at the leaf are identical — a *pure* leaf.
+    pub pure: bool,
+}
+
+impl LeafInfo {
+    /// True if this is a pure-`fail` leaf (all labels 1) — a DDT suspect.
+    pub fn is_pure_fail(&self) -> bool {
+        self.pure && self.n > 0 && self.mean > 0.5
+    }
+
+    /// True if this is a pure-`succeed` leaf (all labels 0).
+    pub fn is_pure_succeed(&self) -> bool {
+        self.pure && self.n > 0 && self.mean < 0.5
+    }
+}
+
+/// A tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A terminal node.
+    Leaf(LeafInfo),
+    /// An internal test: instances satisfying `pred` descend into `yes`,
+    /// the rest into `no` (where the negated predicate holds).
+    Inner {
+        /// The (Parameter, Comparator, Value) test.
+        pred: Predicate,
+        /// Subtree where the test holds.
+        yes: Box<Node>,
+        /// Subtree where the negated test holds.
+        no: Box<Node>,
+    },
+}
+
+/// A root-to-leaf path: the conjunction of edge predicates plus the leaf
+/// summary. Paths to pure-fail leaves are DDT's suspects.
+#[derive(Debug, Clone)]
+pub struct Path {
+    /// The conjunction of predicates along the path (edge-ordered).
+    pub conjunction: Conjunction,
+    /// The leaf at the end of the path.
+    pub leaf: LeafInfo,
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+/// Source of per-node feature subsets (only used by random forests).
+pub trait FeatureSampler {
+    /// Chooses the parameters to consider at one node.
+    fn sample(&mut self, all: &[ParamId], k: usize) -> Vec<ParamId>;
+}
+
+/// Considers all features — the deterministic single-tree setting.
+pub struct AllFeatures;
+
+impl FeatureSampler for AllFeatures {
+    fn sample(&mut self, all: &[ParamId], _k: usize) -> Vec<ParamId> {
+        all.to_vec()
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(instance, label)` rows. Labels are real-valued; the
+    /// split criterion is sum-of-squared-error reduction, which for binary
+    /// fail=1/succeed=0 labels coincides (up to a constant) with Gini
+    /// impurity, so one criterion serves classification and regression.
+    pub fn fit(space: &ParamSpace, rows: &[(Instance, f64)], config: &TreeConfig) -> Self {
+        Self::fit_with_sampler(space, rows, config, &mut AllFeatures)
+    }
+
+    /// Fits a tree with an explicit feature sampler (used by random forests).
+    pub fn fit_with_sampler(
+        space: &ParamSpace,
+        rows: &[(Instance, f64)],
+        config: &TreeConfig,
+        sampler: &mut dyn FeatureSampler,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        let all_params: Vec<ParamId> = space.ids().collect();
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let root = grow(space, rows, &idx, config, sampler, &all_params, 0);
+        DecisionTree { root }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Predicted mean label for an instance (failure probability with binary
+    /// labels).
+    pub fn predict(&self, instance: &Instance) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(info) => return info.mean,
+                Node::Inner { pred, yes, no } => {
+                    node = if pred.satisfied_by(instance) { yes } else { no };
+                }
+            }
+        }
+    }
+
+    /// All root-to-leaf paths, in left-to-right (yes-first) order.
+    pub fn paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        collect_paths(&self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Paths ending in pure-`fail` leaves — the DDT suspects — sorted by
+    /// ascending conjunction length (short suspects first, since DDT looks
+    /// for *minimal* causes), ties broken by tree order.
+    pub fn fail_paths(&self) -> Vec<Path> {
+        let mut fails: Vec<Path> = self
+            .paths()
+            .into_iter()
+            .filter(|p| p.leaf.is_pure_fail())
+            .collect();
+        fails.sort_by_key(|p| p.conjunction.len());
+        fails
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Inner { yes, no, .. } => count(yes) + count(no),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 0,
+                Node::Inner { yes, no, .. } => 1 + depth(yes).max(depth(no)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// ASCII rendering for debugging and reports.
+    pub fn render(&self, space: &ParamSpace) -> String {
+        let mut out = String::new();
+        fn walk(node: &Node, space: &ParamSpace, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match node {
+                Node::Leaf(info) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}leaf n={} mean={:.2}{}",
+                        info.n,
+                        info.mean,
+                        if info.pure { " (pure)" } else { "" }
+                    );
+                }
+                Node::Inner { pred, yes, no } => {
+                    let _ = writeln!(out, "{pad}if {}:", pred.display(space));
+                    walk(yes, space, indent + 1, out);
+                    let _ = writeln!(out, "{pad}else:");
+                    walk(no, space, indent + 1, out);
+                }
+            }
+        }
+        walk(&self.root, space, 0, &mut out);
+        out
+    }
+}
+
+fn collect_paths(node: &Node, prefix: &mut Vec<Predicate>, out: &mut Vec<Path>) {
+    match node {
+        Node::Leaf(info) => out.push(Path {
+            conjunction: Conjunction::new(prefix.clone()),
+            leaf: *info,
+        }),
+        Node::Inner { pred, yes, no } => {
+            prefix.push(pred.clone());
+            collect_paths(yes, prefix, out);
+            prefix.pop();
+            prefix.push(pred.negated());
+            collect_paths(no, prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// Label statistics for an index set.
+struct Stats {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Stats {
+    fn of(rows: &[(Instance, f64)], idx: &[usize]) -> Self {
+        let mut s = Stats {
+            n: idx.len(),
+            sum: 0.0,
+            sum_sq: 0.0,
+        };
+        for &i in idx {
+            let y = rows[i].1;
+            s.sum += y;
+            s.sum_sq += y * y;
+        }
+        s
+    }
+
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Sum of squared errors around the mean — the impurity.
+    fn sse(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sum_sq - self.sum * self.sum / self.n as f64).max(0.0)
+        }
+    }
+}
+
+fn is_pure(rows: &[(Instance, f64)], idx: &[usize]) -> bool {
+    let first = rows[idx[0]].1;
+    idx.iter().all(|&i| (rows[i].1 - first).abs() < 1e-12)
+}
+
+fn leaf(rows: &[(Instance, f64)], idx: &[usize]) -> Node {
+    let stats = Stats::of(rows, idx);
+    Node::Leaf(LeafInfo {
+        n: stats.n,
+        mean: stats.mean(),
+        pure: is_pure(rows, idx),
+    })
+}
+
+fn grow(
+    space: &ParamSpace,
+    rows: &[(Instance, f64)],
+    idx: &[usize],
+    config: &TreeConfig,
+    sampler: &mut dyn FeatureSampler,
+    all_params: &[ParamId],
+    depth: usize,
+) -> Node {
+    if idx.len() < config.min_samples_split
+        || is_pure(rows, idx)
+        || config.max_depth.is_some_and(|d| depth >= d)
+    {
+        return leaf(rows, idx);
+    }
+
+    let k = config
+        .feature_subset
+        .unwrap_or(all_params.len())
+        .clamp(1, all_params.len());
+    let candidates = sampler.sample(all_params, k);
+
+    match best_split(space, rows, idx, &candidates) {
+        None => leaf(rows, idx),
+        Some(split) => {
+            let (yes_idx, no_idx): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| split.satisfied_by(&rows[i].0));
+            debug_assert!(!yes_idx.is_empty() && !no_idx.is_empty());
+            Node::Inner {
+                pred: split,
+                yes: Box::new(grow(
+                    space, rows, &yes_idx, config, sampler, all_params, depth + 1,
+                )),
+                no: Box::new(grow(
+                    space, rows, &no_idx, config, sampler, all_params, depth + 1,
+                )),
+            }
+        }
+    }
+}
+
+/// Exhaustive split search: for each candidate parameter, enumerate `= v`
+/// tests (categorical) or `≤ v` tests (ordinal) over the values observed at
+/// this node, and keep the split with the largest SSE reduction. Ties break
+/// deterministically by (gain, parameter id, domain index) so identical
+/// inputs grow identical trees.
+fn best_split(
+    space: &ParamSpace,
+    rows: &[(Instance, f64)],
+    idx: &[usize],
+    candidates: &[ParamId],
+) -> Option<Predicate> {
+    let parent = Stats::of(rows, idx).sse();
+    let mut best: Option<(f64, Predicate)> = None;
+
+    for &p in candidates {
+        let domain = space.domain(p);
+        // Observed value indices at this node, deduplicated via a mask.
+        let mut present = vec![false; domain.len()];
+        for &i in idx {
+            if let Some(vi) = domain.index_of(rows[i].0.get(p)) {
+                present[vi] = true;
+            }
+        }
+        let observed: Vec<usize> = (0..domain.len()).filter(|&v| present[v]).collect();
+        if observed.len() < 2 {
+            continue; // constant at this node: no split possible
+        }
+
+        let tests: Vec<Predicate> = match domain.kind() {
+            DomainKind::Categorical => observed
+                .iter()
+                .map(|&v| Predicate::new(p, Comparator::Eq, domain.value(v).clone()))
+                .collect(),
+            // For ordinal domains, `≤ v` for every observed value except the
+            // largest (which would send everything left).
+            DomainKind::Ordinal => observed[..observed.len() - 1]
+                .iter()
+                .map(|&v| Predicate::new(p, Comparator::Le, domain.value(v).clone()))
+                .collect(),
+        };
+
+        for test in tests {
+            let mut yes = Stats {
+                n: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+            };
+            let mut no = Stats {
+                n: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+            };
+            for &i in idx {
+                let y = rows[i].1;
+                let side = if test.satisfied_by(&rows[i].0) {
+                    &mut yes
+                } else {
+                    &mut no
+                };
+                side.n += 1;
+                side.sum += y;
+                side.sum_sq += y * y;
+            }
+            if yes.n == 0 || no.n == 0 {
+                continue;
+            }
+            let gain = parent - yes.sse() - no.sse();
+            let better = match &best {
+                None => true,
+                Some((bg, bp)) => {
+                    gain > *bg + 1e-12
+                        || ((gain - *bg).abs() <= 1e-12
+                            && (test.param, &test.value) < (bp.param, &bp.value))
+                }
+            };
+            if better && gain > -1e-12 {
+                best = Some((gain, test));
+            }
+        }
+    }
+
+    // A full tree must separate distinguishable rows even when no split
+    // reduces SSE (e.g. XOR patterns): accept zero-gain splits as long as the
+    // node is impure, otherwise stop.
+    match best {
+        Some((gain, pred)) => {
+            let impure = !is_pure(rows, idx);
+            if gain > 1e-12 || impure {
+                Some(pred)
+            } else {
+                None
+            }
+        }
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{Outcome, ParamSpace, Value};
+    use std::sync::Arc;
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("n", [1, 2, 3, 4, 5])
+            .categorical("color", ["red", "green", "blue"])
+            .build()
+    }
+
+    fn inst(s: &ParamSpace, n: i64, color: &str) -> Instance {
+        Instance::from_pairs(s, [("n", Value::from(n)), ("color", color.into())])
+    }
+
+    fn label(o: Outcome) -> f64 {
+        if o.is_fail() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Rows failing iff n > 3.
+    fn threshold_rows(s: &ParamSpace) -> Vec<(Instance, f64)> {
+        let mut rows = Vec::new();
+        for n in 1..=5 {
+            for color in ["red", "green", "blue"] {
+                let fail = n > 3;
+                rows.push((
+                    inst(s, n, color),
+                    label(Outcome::from_check(!fail)),
+                ));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn learns_threshold_with_single_split() {
+        let s = space();
+        let tree = DecisionTree::fit(&s, &threshold_rows(&s), &TreeConfig::default());
+        // A single `n ≤ 3` split suffices.
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.n_leaves(), 2);
+        assert_eq!(tree.predict(&inst(&s, 5, "red")), 1.0);
+        assert_eq!(tree.predict(&inst(&s, 2, "blue")), 0.0);
+    }
+
+    #[test]
+    fn fail_paths_extracts_suspect() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let tree = DecisionTree::fit(&s, &threshold_rows(&s), &TreeConfig::default());
+        let fails = tree.fail_paths();
+        assert_eq!(fails.len(), 1);
+        // The suspect is `n > 3` (the negation of the `≤` split).
+        let expected = Conjunction::new(vec![Predicate::new(n, Comparator::Gt, 3)]);
+        assert_eq!(
+            fails[0].conjunction.canonicalize(&s),
+            expected.canonicalize(&s)
+        );
+        assert!(fails[0].leaf.is_pure_fail());
+    }
+
+    #[test]
+    fn learns_categorical_equality() {
+        let s = space();
+        let color = s.by_name("color").unwrap();
+        let mut rows = Vec::new();
+        for nn in 1..=5 {
+            for c in ["red", "green", "blue"] {
+                let fail = c == "green";
+                rows.push((inst(&s, nn, c), label(Outcome::from_check(!fail))));
+            }
+        }
+        let tree = DecisionTree::fit(&s, &rows, &TreeConfig::default());
+        let fails = tree.fail_paths();
+        assert_eq!(fails.len(), 1);
+        let expected = Conjunction::new(vec![Predicate::eq(color, "green")]);
+        assert_eq!(
+            fails[0].conjunction.canonicalize(&s),
+            expected.canonicalize(&s)
+        );
+    }
+
+    #[test]
+    fn learns_conjunction_cause() {
+        let s = space();
+        // Fail iff n > 3 AND color = red.
+        let mut rows = Vec::new();
+        for nn in 1..=5 {
+            for c in ["red", "green", "blue"] {
+                let fail = nn > 3 && c == "red";
+                rows.push((inst(&s, nn, c), label(Outcome::from_check(!fail))));
+            }
+        }
+        let tree = DecisionTree::fit(&s, &rows, &TreeConfig::default());
+        let fails = tree.fail_paths();
+        assert_eq!(fails.len(), 1);
+        let canon = fails[0].conjunction.canonicalize(&s);
+        // Semantically: n ∈ {4,5} ∧ color = red.
+        let n = s.by_name("n").unwrap();
+        let color = s.by_name("color").unwrap();
+        let expected = Conjunction::new(vec![
+            Predicate::new(n, Comparator::Gt, 3),
+            Predicate::eq(color, "red"),
+        ]);
+        assert_eq!(canon, expected.canonicalize(&s));
+    }
+
+    #[test]
+    fn grows_full_tree_on_xor() {
+        // XOR-style labels have zero first-split gain; the full tree must
+        // still separate them (no pruning, paper §4.2).
+        let s = ParamSpace::builder()
+            .ordinal("a", [0, 1])
+            .ordinal("b", [0, 1])
+            .build();
+        let rows: Vec<(Instance, f64)> = [(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.0)]
+            .into_iter()
+            .map(|(a, b, y)| {
+                (
+                    Instance::from_pairs(&s, [("a", a.into()), ("b", b.into())]),
+                    y,
+                )
+            })
+            .collect();
+        let tree = DecisionTree::fit(&s, &rows, &TreeConfig::default());
+        for (i, y) in &rows {
+            assert_eq!(tree.predict(i), *y);
+        }
+        assert_eq!(tree.fail_paths().len(), 2);
+    }
+
+    #[test]
+    fn paths_partition_the_space() {
+        let s = space();
+        let tree = DecisionTree::fit(&s, &threshold_rows(&s), &TreeConfig::default());
+        let paths = tree.paths();
+        // Every instance matches exactly one path.
+        for n in 1..=5 {
+            for c in ["red", "green", "blue"] {
+                let i = inst(&s, n, c);
+                let matching = paths
+                    .iter()
+                    .filter(|p| p.conjunction.satisfied_by(&i))
+                    .count();
+                assert_eq!(matching, 1, "instance {} on {} paths", i.display(&s), matching);
+            }
+        }
+        // Leaf sizes sum to the training set size.
+        let total: usize = paths.iter().map(|p| p.leaf.n).sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let s = space();
+        let mut rows = Vec::new();
+        for nn in 1..=5 {
+            for c in ["red", "green", "blue"] {
+                let fail = nn > 3 && c == "red";
+                rows.push((inst(&s, nn, c), label(Outcome::from_check(!fail))));
+            }
+        }
+        let tree = DecisionTree::fit(
+            &s,
+            &rows,
+            &TreeConfig {
+                max_depth: Some(1),
+                ..TreeConfig::default()
+            },
+        );
+        assert!(tree.depth() <= 1);
+        // Predictions are means, not necessarily 0/1.
+        let p = tree.predict(&inst(&s, 5, "red"));
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_rows() {
+        let s = space();
+        let rows = threshold_rows(&s);
+        let t1 = DecisionTree::fit(&s, &rows, &TreeConfig::default());
+        let t2 = DecisionTree::fit(&s, &rows, &TreeConfig::default());
+        assert_eq!(t1.render(&s), t2.render(&s));
+    }
+
+    #[test]
+    fn regression_labels_predict_means() {
+        let s = space();
+        // Labels = n as f64; the full tree memorizes them.
+        let rows: Vec<(Instance, f64)> = (1..=5).map(|n| (inst(&s, n, "red"), n as f64)).collect();
+        let tree = DecisionTree::fit(&s, &rows, &TreeConfig::default());
+        for (i, y) in &rows {
+            assert!((tree.predict(i) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_contains_split() {
+        let s = space();
+        let tree = DecisionTree::fit(&s, &threshold_rows(&s), &TreeConfig::default());
+        let txt = tree.render(&s);
+        assert!(txt.contains("n ≤ 3"), "got:\n{txt}");
+        assert!(txt.contains("(pure)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        let s = space();
+        DecisionTree::fit(&s, &[], &TreeConfig::default());
+    }
+}

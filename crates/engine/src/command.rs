@@ -1,0 +1,314 @@
+//! Driving real programs as black-box pipelines.
+//!
+//! The paper's prototype debugs VisTrails workflows; the equivalent
+//! language-independent integration here is a subprocess runner: each
+//! instance becomes one invocation of a user command, with parameter values
+//! substituted into the argument list (`{param_name}` placeholders) and
+//! exported as `BUGDOC_<PARAM_NAME>` environment variables. The evaluation
+//! procedure is either the exit code or a score parsed from the last line
+//! of stdout and thresholded — "normally, the evaluation procedure will be
+//! code that looks at some property of the result" (paper §3, Def. 2).
+
+use crate::pipeline::{Pipeline, PipelineError, SimTime};
+use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace};
+use std::process::Command;
+use std::sync::Arc;
+
+/// How a command's result is evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandEval {
+    /// Succeed iff the process exits with status 0.
+    ExitCode,
+    /// Parse the last non-empty stdout line as a score; succeed iff
+    /// `score >= threshold`. Nonzero exit or an unparseable score is `fail`.
+    StdoutScoreAtLeast(f64),
+    /// As above, but succeed iff `score <= threshold` (error metrics).
+    StdoutScoreAtMost(f64),
+}
+
+/// A pipeline that executes a subprocess per instance.
+pub struct CommandPipeline {
+    space: Arc<ParamSpace>,
+    /// `argv[0]` is the program; later elements may contain `{param}`
+    /// placeholders replaced by the instance's values.
+    argv: Vec<String>,
+    eval: CommandEval,
+    name: String,
+}
+
+impl CommandPipeline {
+    /// Creates a command pipeline. Placeholders are validated against the
+    /// space eagerly: an unknown `{param}` is a configuration bug.
+    pub fn new(space: Arc<ParamSpace>, argv: Vec<String>, eval: CommandEval) -> Self {
+        assert!(!argv.is_empty(), "command must have a program name");
+        for arg in &argv {
+            for token in placeholder_names(arg) {
+                assert!(
+                    space.by_name(&token).is_some(),
+                    "placeholder {{{token}}} does not name a parameter"
+                );
+            }
+        }
+        let name = format!("command:{}", argv[0]);
+        CommandPipeline {
+            space,
+            argv,
+            eval,
+            name,
+        }
+    }
+
+    /// The argv with an instance's values substituted.
+    pub fn render_argv(&self, instance: &Instance) -> Vec<String> {
+        self.argv
+            .iter()
+            .map(|arg| substitute(arg, &self.space, instance))
+            .collect()
+    }
+
+    /// The environment variables exported for an instance:
+    /// `BUGDOC_<UPPERCASED_PARAM_NAME>` → value.
+    pub fn render_env(&self, instance: &Instance) -> Vec<(String, String)> {
+        self.space
+            .iter()
+            .map(|(id, def)| {
+                (
+                    format!("BUGDOC_{}", sanitize_env(def.name())),
+                    instance.get(id).to_string(),
+                )
+            })
+            .collect()
+    }
+}
+
+fn sanitize_env(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_uppercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Extracts `{name}` placeholder names from a template string.
+fn placeholder_names(template: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = template;
+    while let Some(open) = rest.find('{') {
+        let Some(close_rel) = rest[open + 1..].find('}') else {
+            break;
+        };
+        names.push(rest[open + 1..open + 1 + close_rel].to_string());
+        rest = &rest[open + 1 + close_rel + 1..];
+    }
+    names
+}
+
+fn substitute(template: &str, space: &ParamSpace, instance: &Instance) -> String {
+    let mut out = template.to_string();
+    for (id, def) in space.iter() {
+        let needle = format!("{{{}}}", def.name());
+        if out.contains(&needle) {
+            out = out.replace(&needle, &instance.get(id).to_string());
+        }
+    }
+    out
+}
+
+impl Pipeline for CommandPipeline {
+    fn space(&self) -> &Arc<ParamSpace> {
+        &self.space
+    }
+
+    fn execute(&self, instance: &Instance) -> Result<EvalResult, PipelineError> {
+        let argv = self.render_argv(instance);
+        let mut cmd = Command::new(&argv[0]);
+        cmd.args(&argv[1..]);
+        for (k, v) in self.render_env(instance) {
+            cmd.env(k, v);
+        }
+        let output = cmd.output().map_err(|_| PipelineError::Unavailable)?;
+
+        match &self.eval {
+            CommandEval::ExitCode => Ok(EvalResult::of(Outcome::from_check(
+                output.status.success(),
+            ))),
+            CommandEval::StdoutScoreAtLeast(threshold) => {
+                if !output.status.success() {
+                    return Ok(EvalResult::of(Outcome::Fail));
+                }
+                match parse_score(&output.stdout) {
+                    Some(score) => Ok(EvalResult::from_score_at_least(score, *threshold)),
+                    None => Ok(EvalResult::of(Outcome::Fail)),
+                }
+            }
+            CommandEval::StdoutScoreAtMost(threshold) => {
+                if !output.status.success() {
+                    return Ok(EvalResult::of(Outcome::Fail));
+                }
+                match parse_score(&output.stdout) {
+                    Some(score) => Ok(EvalResult::from_score_at_most(score, *threshold)),
+                    None => Ok(EvalResult::of(Outcome::Fail)),
+                }
+            }
+        }
+    }
+
+    fn cost(&self, _instance: &Instance) -> SimTime {
+        SimTime::from_secs(1.0)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn parse_score(stdout: &[u8]) -> Option<f64> {
+    let text = String::from_utf8_lossy(stdout);
+    text.lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| l.trim().parse::<f64>().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{ParamSpace, Value};
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("x", [1, 2, 3])
+            .categorical("mode", ["fast", "slow"])
+            .build()
+    }
+
+    fn inst(s: &ParamSpace, x: i64, mode: &str) -> Instance {
+        Instance::from_pairs(s, [("x", Value::from(x)), ("mode", mode.into())])
+    }
+
+    #[test]
+    fn placeholder_extraction_and_substitution() {
+        assert_eq!(placeholder_names("--x={x} {mode}"), vec!["x", "mode"]);
+        assert_eq!(placeholder_names("no placeholders"), Vec::<String>::new());
+        let s = space();
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec!["prog".into(), "--x={x}".into(), "{mode}".into()],
+            CommandEval::ExitCode,
+        );
+        assert_eq!(
+            p.render_argv(&inst(&s, 2, "fast")),
+            vec!["prog", "--x=2", "fast"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name a parameter")]
+    fn unknown_placeholder_rejected() {
+        CommandPipeline::new(
+            space(),
+            vec!["prog".into(), "{nope}".into()],
+            CommandEval::ExitCode,
+        );
+    }
+
+    #[test]
+    fn env_rendering() {
+        let s = space();
+        let p = CommandPipeline::new(s.clone(), vec!["prog".into()], CommandEval::ExitCode);
+        let env = p.render_env(&inst(&s, 3, "slow"));
+        assert!(env.contains(&("BUGDOC_X".into(), "3".into())));
+        assert!(env.contains(&("BUGDOC_MODE".into(), "slow".into())));
+    }
+
+    #[test]
+    fn exit_code_evaluation_via_sh() {
+        // Fails iff x = 3 (the shell reads the exported env var).
+        let s = space();
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec![
+                "/bin/sh".into(),
+                "-c".into(),
+                "[ \"$BUGDOC_X\" != 3 ]".into(),
+            ],
+            CommandEval::ExitCode,
+        );
+        assert!(p.execute(&inst(&s, 1, "fast")).unwrap().outcome.is_succeed());
+        assert!(p.execute(&inst(&s, 3, "fast")).unwrap().outcome.is_fail());
+    }
+
+    #[test]
+    fn stdout_score_evaluation_via_sh() {
+        // Prints 0.9 for mode=fast, 0.2 otherwise; threshold 0.6.
+        let s = space();
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec![
+                "/bin/sh".into(),
+                "-c".into(),
+                "if [ \"$BUGDOC_MODE\" = fast ]; then echo 0.9; else echo 0.2; fi".into(),
+            ],
+            CommandEval::StdoutScoreAtLeast(0.6),
+        );
+        let good = p.execute(&inst(&s, 1, "fast")).unwrap();
+        assert!(good.outcome.is_succeed());
+        assert_eq!(good.score, Some(0.9));
+        let bad = p.execute(&inst(&s, 1, "slow")).unwrap();
+        assert!(bad.outcome.is_fail());
+        assert_eq!(bad.score, Some(0.2));
+    }
+
+    #[test]
+    fn score_at_most_mode() {
+        let s = space();
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec!["/bin/sh".into(), "-c".into(), "echo 42".into()],
+            CommandEval::StdoutScoreAtMost(50.0),
+        );
+        assert!(p.execute(&inst(&s, 1, "fast")).unwrap().outcome.is_succeed());
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec!["/bin/sh".into(), "-c".into(), "echo 99".into()],
+            CommandEval::StdoutScoreAtMost(50.0),
+        );
+        assert!(p.execute(&inst(&s, 1, "fast")).unwrap().outcome.is_fail());
+    }
+
+    #[test]
+    fn unparseable_score_fails() {
+        let s = space();
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec!["/bin/sh".into(), "-c".into(), "echo not-a-number".into()],
+            CommandEval::StdoutScoreAtLeast(0.5),
+        );
+        assert!(p.execute(&inst(&s, 1, "fast")).unwrap().outcome.is_fail());
+    }
+
+    #[test]
+    fn missing_program_is_unavailable() {
+        let s = space();
+        let p = CommandPipeline::new(
+            s.clone(),
+            vec!["/definitely/not/a/program".into()],
+            CommandEval::ExitCode,
+        );
+        assert_eq!(
+            p.execute(&inst(&s, 1, "fast")),
+            Err(PipelineError::Unavailable)
+        );
+    }
+
+    #[test]
+    fn parse_score_takes_last_nonempty_line() {
+        assert_eq!(parse_score(b"log line\n0.75\n\n"), Some(0.75));
+        assert_eq!(parse_score(b""), None);
+        assert_eq!(parse_score(b"nan-ish\n"), None);
+    }
+}

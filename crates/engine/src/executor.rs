@@ -1,0 +1,548 @@
+//! The execution engine: a caching, budgeted, parallel dispatcher for
+//! pipeline instances.
+//!
+//! "The current prototype of BugDoc contains a dispatching component that
+//! runs in a single thread and spawns multiple pipeline instances in
+//! parallel. In our experiments, we used five execution engine workers"
+//! (paper §5). The executor reproduces that architecture:
+//!
+//! * every execution is recorded in the [`ProvenanceStore`]; re-evaluating a
+//!   known instance is a cache hit and costs nothing (the paper's cost
+//!   measure counts only *new* executions);
+//! * an optional **instance budget** bounds new executions — the evaluation
+//!   grants each baseline "the same number of instances" (§5);
+//! * batches run on a worker pool (real threads via crossbeam), and a
+//!   **virtual clock** accumulates the schedule makespan at the configured
+//!   worker count, which is what the scalability study measures (§5.2).
+
+use crate::pipeline::{Pipeline, PipelineError, SimTime};
+use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, ProvenanceStore, Run};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why the executor could not evaluate an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The new-instance budget is exhausted. Algorithms treat this as "stop
+    /// refining and report the best assertion so far".
+    BudgetExhausted,
+    /// The pipeline cannot execute this instance (historical replay gap).
+    Unavailable,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BudgetExhausted => write!(f, "instance budget exhausted"),
+            ExecError::Unavailable => write!(f, "instance unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads for batch execution. The paper used 5.
+    pub workers: usize,
+    /// Maximum number of *new* pipeline executions (cache hits are free).
+    /// `None` = unbounded.
+    pub budget: Option<usize>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 5,
+            budget: None,
+        }
+    }
+}
+
+/// Execution statistics, for reports and the scalability figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Instances executed by this executor (excludes pre-seeded provenance).
+    pub new_executions: usize,
+    /// Evaluations answered from provenance without executing.
+    pub cache_hits: usize,
+    /// Requests refused because the pipeline could not run the instance.
+    pub unavailable: usize,
+    /// Requests refused because the budget was exhausted.
+    pub budget_refusals: usize,
+    /// Virtual time elapsed: the makespan of all executions scheduled on
+    /// `workers` machines.
+    pub sim_time: SimTime,
+}
+
+struct Inner {
+    provenance: ProvenanceStore,
+    stats: ExecStats,
+}
+
+/// The caching, budgeted, parallel instance dispatcher.
+pub struct Executor {
+    pipeline: Arc<dyn Pipeline>,
+    config: ExecutorConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Executor {
+    /// Creates an executor with an empty history.
+    pub fn new(pipeline: Arc<dyn Pipeline>, config: ExecutorConfig) -> Self {
+        let provenance = ProvenanceStore::new(pipeline.space().clone());
+        Executor {
+            pipeline,
+            config,
+            inner: Mutex::new(Inner {
+                provenance,
+                stats: ExecStats::default(),
+            }),
+        }
+    }
+
+    /// Creates an executor pre-seeded with previously-run instances. Seeded
+    /// runs do not count against the budget or the execution statistics.
+    pub fn with_provenance(
+        pipeline: Arc<dyn Pipeline>,
+        config: ExecutorConfig,
+        provenance: ProvenanceStore,
+    ) -> Self {
+        Executor {
+            pipeline,
+            config,
+            inner: Mutex::new(Inner {
+                provenance,
+                stats: ExecStats::default(),
+            }),
+        }
+    }
+
+    /// The pipeline's parameter space.
+    pub fn space(&self) -> Arc<ParamSpace> {
+        self.pipeline.space().clone()
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// The executable instance set, if the pipeline is a finite replay
+    /// (see [`Pipeline::available_instances`]).
+    pub fn available_instances(&self) -> Option<Vec<Instance>> {
+        self.pipeline.available_instances()
+    }
+
+    /// Remaining new-execution budget (`None` = unbounded).
+    pub fn remaining_budget(&self) -> Option<usize> {
+        self.config
+            .budget
+            .map(|b| b.saturating_sub(self.inner.lock().stats.new_executions))
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ExecStats {
+        self.inner.lock().stats
+    }
+
+    /// A snapshot of the current provenance.
+    pub fn provenance(&self) -> ProvenanceStore {
+        self.inner.lock().provenance.clone()
+    }
+
+    /// Runs a closure against the live provenance without cloning it.
+    pub fn with_provenance_ref<R>(&self, f: impl FnOnce(&ProvenanceStore) -> R) -> R {
+        f(&self.inner.lock().provenance)
+    }
+
+    /// Evaluates one instance: provenance hit if known, otherwise a budgeted
+    /// execution. Advances the virtual clock by the instance cost (a single
+    /// evaluation cannot be overlapped with anything).
+    pub fn evaluate(&self, instance: &Instance) -> Result<Outcome, ExecError> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(eval) = inner.provenance.lookup(instance) {
+                let outcome = eval.outcome;
+                inner.stats.cache_hits += 1;
+                return Ok(outcome);
+            }
+            if let Some(budget) = self.config.budget {
+                if inner.stats.new_executions >= budget {
+                    inner.stats.budget_refusals += 1;
+                    return Err(ExecError::BudgetExhausted);
+                }
+            }
+            // Reserve the budget slot before releasing the lock so concurrent
+            // callers cannot overrun it; the slot is released on failure.
+            inner.stats.new_executions += 1;
+        }
+        let result = self.pipeline.execute(instance);
+        let cost = self.pipeline.cost(instance);
+        let mut inner = self.inner.lock();
+        match result {
+            Ok(eval) => {
+                inner.provenance.record(instance.clone(), eval);
+                inner.stats.sim_time += cost;
+                Ok(eval.outcome)
+            }
+            Err(PipelineError::Unavailable) => {
+                inner.stats.new_executions -= 1;
+                inner.stats.unavailable += 1;
+                Err(ExecError::Unavailable)
+            }
+        }
+    }
+
+    /// Evaluates a batch of instances in parallel on the worker pool.
+    ///
+    /// Results are positionally aligned with the input. Duplicate instances
+    /// within the batch are executed once. The budget is applied in input
+    /// order: once exhausted, remaining *new* instances get
+    /// [`ExecError::BudgetExhausted`] (cache hits are still answered).
+    ///
+    /// The virtual clock advances by the makespan of greedy list scheduling
+    /// of the executed instances' costs on `workers` machines — the quantity
+    /// the paper's Figure 6 tracks as core counts grow.
+    pub fn evaluate_batch(&self, instances: &[Instance]) -> Vec<Result<Outcome, ExecError>> {
+        let mut results: Vec<Option<Result<Outcome, ExecError>>> = vec![None; instances.len()];
+        // Positions in the batch that need execution, deduplicated: the first
+        // occurrence executes; later duplicates copy its result.
+        let mut to_run: Vec<usize> = Vec::new();
+        let mut first_occurrence: std::collections::HashMap<&Instance, usize> =
+            std::collections::HashMap::new();
+
+        {
+            let mut inner = self.inner.lock();
+            for (i, instance) in instances.iter().enumerate() {
+                if let Some(eval) = inner.provenance.lookup(instance) {
+                    let outcome = eval.outcome;
+                    inner.stats.cache_hits += 1;
+                    results[i] = Some(Ok(outcome));
+                    continue;
+                }
+                if first_occurrence.contains_key(instance) {
+                    continue; // duplicate of an earlier new instance
+                }
+                let within_budget = match self.config.budget {
+                    Some(budget) => inner.stats.new_executions < budget,
+                    None => true,
+                };
+                if within_budget {
+                    inner.stats.new_executions += 1;
+                    first_occurrence.insert(instance, i);
+                    to_run.push(i);
+                } else {
+                    inner.stats.budget_refusals += 1;
+                    results[i] = Some(Err(ExecError::BudgetExhausted));
+                    first_occurrence.insert(instance, i);
+                }
+            }
+        }
+
+        // Execute the new instances on the worker pool.
+        let outcomes: Vec<(usize, Result<EvalResult, PipelineError>, SimTime)> = if to_run
+            .is_empty()
+        {
+            Vec::new()
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Result<EvalResult, PipelineError>, SimTime)>> =
+                Mutex::new(Vec::with_capacity(to_run.len()));
+            let workers = self.config.workers.max(1).min(to_run.len());
+            crossbeam::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= to_run.len() {
+                            break;
+                        }
+                        let pos = to_run[k];
+                        let instance = &instances[pos];
+                        let res = self.pipeline.execute(instance);
+                        let cost = self.pipeline.cost(instance);
+                        collected.lock().push((pos, res, cost));
+                    });
+                }
+            })
+            .expect("executor worker panicked");
+            collected.into_inner()
+        };
+
+        // Record results, settle the virtual clock, fill duplicates. Sorting
+        // by batch position keeps the provenance order (and the greedy
+        // scheduler's job order) deterministic regardless of which worker
+        // finished first.
+        {
+            let mut outcomes = outcomes;
+            outcomes.sort_by_key(|(pos, _, _)| *pos);
+            let mut inner = self.inner.lock();
+            let mut executed_costs: Vec<SimTime> = Vec::with_capacity(outcomes.len());
+            for (pos, res, cost) in outcomes {
+                match res {
+                    Ok(eval) => {
+                        inner.provenance.record(instances[pos].clone(), eval);
+                        executed_costs.push(cost);
+                        results[pos] = Some(Ok(eval.outcome));
+                    }
+                    Err(PipelineError::Unavailable) => {
+                        inner.stats.new_executions -= 1;
+                        inner.stats.unavailable += 1;
+                        results[pos] = Some(Err(ExecError::Unavailable));
+                    }
+                }
+            }
+            inner.stats.sim_time += makespan(&executed_costs, self.config.workers.max(1));
+            for (i, instance) in instances.iter().enumerate() {
+                if results[i].is_none() {
+                    let first = first_occurrence[instance];
+                    results[i] = Some(
+                        results[first]
+                            .clone()
+                            .expect("first occurrence must be resolved"),
+                    );
+                }
+            }
+        }
+
+        results.into_iter().map(|r| r.expect("resolved")).collect()
+    }
+
+    /// Records an externally-obtained evaluation (e.g. seeding mid-run).
+    pub fn record_external(&self, instance: Instance, eval: EvalResult) {
+        self.inner.lock().provenance.record(instance, eval);
+    }
+
+    /// Convenience: all runs recorded so far.
+    pub fn runs(&self) -> Vec<Run> {
+        self.inner.lock().provenance.runs().to_vec()
+    }
+}
+
+/// Greedy list-scheduling makespan of `costs` on `machines` identical
+/// machines: each job goes to the least-loaded machine, in order. This is the
+/// schedule the dispatcher actually produces (jobs are pulled by idle
+/// workers), so the virtual clock matches the real pool's behaviour.
+fn makespan(costs: &[SimTime], machines: usize) -> SimTime {
+    if costs.is_empty() {
+        return SimTime::ZERO;
+    }
+    let mut loads = vec![0.0f64; machines.max(1)];
+    for c in costs {
+        // Index of the least-loaded machine.
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .expect("at least one machine");
+        loads[idx] += c.secs();
+    }
+    SimTime::from_secs(loads.into_iter().fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FnPipeline, HistoricalPipeline};
+    use bugdoc_core::{ParamSpace, Value};
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("x", [1, 2, 3, 4, 5])
+            .ordinal("y", [1, 2, 3, 4, 5])
+            .build()
+    }
+
+    fn inst(s: &ParamSpace, x: i64, y: i64) -> Instance {
+        Instance::from_pairs(s, [("x", Value::from(x)), ("y", Value::from(y))])
+    }
+
+    /// Pipeline failing iff x = 3.
+    fn pipe(s: &Arc<ParamSpace>) -> Arc<dyn Pipeline> {
+        let x = s.by_name("x").unwrap();
+        Arc::new(FnPipeline::new(s.clone(), move |i: &Instance| {
+            EvalResult::of(Outcome::from_check(i.get(x) != &Value::from(3)))
+        }))
+    }
+
+    #[test]
+    fn evaluate_caches() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        let i = inst(&s, 3, 1);
+        assert_eq!(exec.evaluate(&i), Ok(Outcome::Fail));
+        assert_eq!(exec.evaluate(&i), Ok(Outcome::Fail));
+        let stats = exec.stats();
+        assert_eq!(stats.new_executions, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn budget_enforced_and_counts_only_new() {
+        let s = space();
+        let exec = Executor::new(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 2,
+                budget: Some(2),
+            },
+        );
+        assert!(exec.evaluate(&inst(&s, 1, 1)).is_ok());
+        assert!(exec.evaluate(&inst(&s, 1, 1)).is_ok()); // cache hit, free
+        assert!(exec.evaluate(&inst(&s, 2, 1)).is_ok());
+        assert_eq!(
+            exec.evaluate(&inst(&s, 3, 1)),
+            Err(ExecError::BudgetExhausted)
+        );
+        assert_eq!(exec.remaining_budget(), Some(0));
+        assert_eq!(exec.stats().budget_refusals, 1);
+    }
+
+    #[test]
+    fn seeded_provenance_is_free() {
+        let s = space();
+        let mut prov = ProvenanceStore::new(s.clone());
+        prov.record(inst(&s, 3, 3), EvalResult::of(Outcome::Fail));
+        let exec = Executor::with_provenance(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 1,
+                budget: Some(0),
+            },
+            prov,
+        );
+        // Known instance: answered despite a zero budget.
+        assert_eq!(exec.evaluate(&inst(&s, 3, 3)), Ok(Outcome::Fail));
+        assert_eq!(exec.stats().new_executions, 0);
+    }
+
+    #[test]
+    fn batch_positions_and_dedup() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        let batch = vec![inst(&s, 1, 1), inst(&s, 3, 2), inst(&s, 1, 1)];
+        let results = exec.evaluate_batch(&batch);
+        assert_eq!(results[0], Ok(Outcome::Succeed));
+        assert_eq!(results[1], Ok(Outcome::Fail));
+        assert_eq!(results[2], Ok(Outcome::Succeed));
+        // The duplicate executed once.
+        assert_eq!(exec.stats().new_executions, 2);
+    }
+
+    #[test]
+    fn batch_budget_partial() {
+        let s = space();
+        let exec = Executor::new(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 4,
+                budget: Some(2),
+            },
+        );
+        let batch: Vec<_> = (1..=4).map(|x| inst(&s, x, 1)).collect();
+        let results = exec.evaluate_batch(&batch);
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let refused = results
+            .iter()
+            .filter(|r| **r == Err(ExecError::BudgetExhausted))
+            .count();
+        assert_eq!(ok, 2);
+        assert_eq!(refused, 2);
+    }
+
+    #[test]
+    fn unavailable_does_not_consume_budget() {
+        let s = space();
+        let hist = HistoricalPipeline::new(
+            s.clone(),
+            [(inst(&s, 1, 1), EvalResult::of(Outcome::Succeed))],
+        );
+        let exec = Executor::new(
+            Arc::new(hist),
+            ExecutorConfig {
+                workers: 1,
+                budget: Some(1),
+            },
+        );
+        assert_eq!(exec.evaluate(&inst(&s, 2, 2)), Err(ExecError::Unavailable));
+        // Budget slot released: the available instance still runs.
+        assert_eq!(exec.evaluate(&inst(&s, 1, 1)), Ok(Outcome::Succeed));
+        let stats = exec.stats();
+        assert_eq!(stats.unavailable, 1);
+        assert_eq!(stats.new_executions, 1);
+    }
+
+    #[test]
+    fn virtual_clock_scales_with_workers() {
+        let s = space();
+        let make = |workers| {
+            let x = s.by_name("x").unwrap();
+            let p = FnPipeline::new(s.clone(), move |i: &Instance| {
+                EvalResult::of(Outcome::from_check(i.get(x) != &Value::from(3)))
+            })
+            .with_cost(SimTime::from_mins(20.0));
+            Executor::new(
+                Arc::new(p),
+                ExecutorConfig {
+                    workers,
+                    budget: None,
+                },
+            )
+        };
+        let batch: Vec<_> = (1..=5)
+            .flat_map(|x| (1..=2).map(move |y| (x, y)))
+            .map(|(x, y)| inst(&s, x, y))
+            .collect();
+        assert_eq!(batch.len(), 10);
+
+        let exec1 = make(1);
+        exec1.evaluate_batch(&batch);
+        assert_eq!(exec1.stats().sim_time.secs(), 10.0 * 1200.0);
+
+        let exec5 = make(5);
+        exec5.evaluate_batch(&batch);
+        assert_eq!(exec5.stats().sim_time.secs(), 2.0 * 1200.0);
+    }
+
+    #[test]
+    fn makespan_greedy() {
+        let c = |s: f64| SimTime::from_secs(s);
+        assert_eq!(makespan(&[], 4), SimTime::ZERO);
+        assert_eq!(makespan(&[c(3.0), c(2.0), c(1.0)], 1).secs(), 6.0);
+        // Two machines, jobs 3,2,1 -> loads {3,1+2} -> makespan 3.
+        assert_eq!(makespan(&[c(3.0), c(2.0), c(1.0)], 2).secs(), 3.0);
+        // More machines than jobs -> longest job dominates.
+        assert_eq!(makespan(&[c(3.0), c(2.0)], 8).secs(), 3.0);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_results() {
+        let s = space();
+        let exec_par = Executor::new(pipe(&s), ExecutorConfig { workers: 8, budget: None });
+        let exec_seq = Executor::new(pipe(&s), ExecutorConfig { workers: 1, budget: None });
+        let batch: Vec<_> = (1..=5)
+            .flat_map(|x| (1..=5).map(move |y| (x, y)))
+            .map(|(x, y)| inst(&s, x, y))
+            .collect();
+        let a = exec_par.evaluate_batch(&batch);
+        let b = exec_seq.evaluate_batch(&batch);
+        assert_eq!(a, b);
+        assert_eq!(exec_par.stats().new_executions, 25);
+    }
+
+    #[test]
+    fn provenance_snapshot_reflects_runs() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        exec.evaluate(&inst(&s, 3, 1)).unwrap();
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        let prov = exec.provenance();
+        assert_eq!(prov.len(), 2);
+        assert_eq!(prov.failing().count(), 1);
+        assert_eq!(exec.runs().len(), 2);
+        exec.with_provenance_ref(|p| assert_eq!(p.len(), 2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the execution engine: budget accounting, cache
+//! coherence, batch/sequential agreement under arbitrary interleavings, and
+//! virtual-clock bounds.
+
+use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, Value};
+use bugdoc_engine::{ExecError, Executor, ExecutorConfig, FnPipeline, Pipeline, SimTime};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn space() -> Arc<ParamSpace> {
+    ParamSpace::builder()
+        .ordinal("a", [0, 1, 2, 3])
+        .ordinal("b", [0, 1, 2, 3])
+        .build()
+}
+
+fn inst(s: &ParamSpace, a: i64, b: i64) -> Instance {
+    Instance::from_pairs(s, [("a", Value::from(a)), ("b", Value::from(b))])
+}
+
+fn pipeline(s: &Arc<ParamSpace>) -> Arc<dyn Pipeline> {
+    let a = s.by_name("a").unwrap();
+    Arc::new(
+        FnPipeline::new(s.clone(), move |i: &Instance| {
+            EvalResult::of(Outcome::from_check(i.get(a) != &Value::from(3)))
+        })
+        .with_cost(SimTime::from_secs(10.0)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Budget invariant: new_executions never exceeds the budget, cache hits
+    /// are free, and every refusal is counted.
+    #[test]
+    fn budget_accounting(
+        requests in proptest::collection::vec((0i64..4, 0i64..4), 1..32),
+        budget in 0usize..10,
+    ) {
+        let s = space();
+        let exec = Executor::new(
+            pipeline(&s),
+            ExecutorConfig { workers: 3, budget: Some(budget) },
+        );
+        let mut distinct = std::collections::HashSet::new();
+        let mut refused = 0usize;
+        for (a, b) in requests {
+            let i = inst(&s, a, b);
+            match exec.evaluate(&i) {
+                Ok(_) => {
+                    distinct.insert(i);
+                }
+                Err(ExecError::BudgetExhausted) => refused += 1,
+                Err(ExecError::Unavailable) => unreachable!(),
+            }
+        }
+        let stats = exec.stats();
+        prop_assert!(stats.new_executions <= budget);
+        prop_assert_eq!(stats.new_executions, distinct.len().min(budget));
+        prop_assert_eq!(stats.budget_refusals, refused);
+        prop_assert_eq!(exec.provenance().len(), stats.new_executions);
+    }
+
+    /// Cache coherence: re-evaluating any executed instance returns the same
+    /// outcome and performs no new execution.
+    #[test]
+    fn cache_coherent(requests in proptest::collection::vec((0i64..4, 0i64..4), 1..16)) {
+        let s = space();
+        let exec = Executor::new(pipeline(&s), ExecutorConfig::default());
+        let mut first: std::collections::HashMap<Instance, Outcome> =
+            std::collections::HashMap::new();
+        for (a, b) in &requests {
+            let i = inst(&s, *a, *b);
+            let o = exec.evaluate(&i).unwrap();
+            if let Some(prev) = first.insert(i, o) {
+                prop_assert_eq!(prev, o);
+            }
+        }
+        let execs_before = exec.stats().new_executions;
+        for (i, o) in &first {
+            prop_assert_eq!(exec.evaluate(i).unwrap(), *o);
+        }
+        prop_assert_eq!(exec.stats().new_executions, execs_before);
+    }
+
+    /// Batches of arbitrary composition (duplicates, cache hits, new work)
+    /// agree positionally with sequential evaluation.
+    #[test]
+    fn batch_agrees_with_sequential(
+        warmup in proptest::collection::vec((0i64..4, 0i64..4), 0..8),
+        batch in proptest::collection::vec((0i64..4, 0i64..4), 1..24),
+    ) {
+        let s = space();
+        let exec_batch = Executor::new(pipeline(&s), ExecutorConfig { workers: 4, budget: None });
+        let exec_seq = Executor::new(pipeline(&s), ExecutorConfig { workers: 1, budget: None });
+        for (a, b) in &warmup {
+            exec_batch.evaluate(&inst(&s, *a, *b)).unwrap();
+            exec_seq.evaluate(&inst(&s, *a, *b)).unwrap();
+        }
+        let items: Vec<Instance> = batch.iter().map(|(a, b)| inst(&s, *a, *b)).collect();
+        let batch_out = exec_batch.evaluate_batch(&items);
+        let seq_out: Vec<_> = items.iter().map(|i| exec_seq.evaluate(i)).collect();
+        prop_assert_eq!(batch_out, seq_out);
+        prop_assert_eq!(
+            exec_batch.stats().new_executions,
+            exec_seq.stats().new_executions
+        );
+    }
+
+    /// Virtual-clock bounds: total time with w workers is between
+    /// (total work / w) and total work; more workers never slow it down.
+    #[test]
+    fn virtual_clock_bounds(
+        batch in proptest::collection::vec((0i64..4, 0i64..4), 1..16),
+        workers in 1usize..8,
+    ) {
+        let s = space();
+        let items: Vec<Instance> = batch.iter().map(|(a, b)| inst(&s, *a, *b)).collect();
+        let distinct: std::collections::HashSet<&Instance> = items.iter().collect();
+        let work = distinct.len() as f64 * 10.0;
+
+        let exec = Executor::new(pipeline(&s), ExecutorConfig { workers, budget: None });
+        exec.evaluate_batch(&items);
+        let t = exec.stats().sim_time.secs();
+        prop_assert!(t <= work + 1e-9);
+        prop_assert!(t >= work / workers as f64 - 1e-9);
+        // With at least one job, at least one job's cost elapses.
+        prop_assert!(t >= 10.0 - 1e-9);
+    }
+}

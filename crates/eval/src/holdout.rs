@@ -1,0 +1,126 @@
+//! Holdout classification accuracy (paper §5.3, DBSherlock).
+//!
+//! "We create a 25% holdout to assess the accuracy of BugDoc's minimal root
+//! causes as a classifier to predict when a pipeline instance will fail.
+//! Precisely, if the pipeline instance is a superset of a minimal root
+//! cause, we predict failure. This method is accurate 98% of the time."
+
+use bugdoc_core::{Conjunction, EvalResult, Instance};
+
+/// Confusion-matrix style summary of the holdout evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HoldoutReport {
+    /// Failing instances predicted to fail.
+    pub true_positives: usize,
+    /// Succeeding instances predicted to succeed.
+    pub true_negatives: usize,
+    /// Succeeding instances predicted to fail.
+    pub false_positives: usize,
+    /// Failing instances predicted to succeed.
+    pub false_negatives: usize,
+}
+
+impl HoldoutReport {
+    /// Total instances scored.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.true_negatives + self.false_positives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Scores the rule "predict fail iff the instance satisfies some asserted
+/// cause" against labeled holdout data.
+pub fn classify_holdout(
+    causes: &[Conjunction],
+    holdout: &[(Instance, EvalResult)],
+) -> HoldoutReport {
+    let mut report = HoldoutReport::default();
+    for (inst, eval) in holdout {
+        let predicted_fail = causes.iter().any(|c| c.satisfied_by(inst));
+        let actually_fail = eval.outcome.is_fail();
+        match (predicted_fail, actually_fail) {
+            (true, true) => report.true_positives += 1,
+            (false, false) => report.true_negatives += 1,
+            (true, false) => report.false_positives += 1,
+            (false, true) => report.false_negatives += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{Outcome, ParamSpace, Predicate};
+
+    #[test]
+    fn perfect_causes_give_perfect_accuracy() {
+        let space = ParamSpace::builder()
+            .ordinal("a", [1, 2, 3])
+            .ordinal("b", [1, 2, 3])
+            .build();
+        let a = space.by_name("a").unwrap();
+        let cause = Conjunction::new(vec![Predicate::eq(a, 3)]);
+        let holdout: Vec<(Instance, EvalResult)> = space
+            .instances()
+            .map(|inst| {
+                let fail = cause.satisfied_by(&inst);
+                (inst, EvalResult::of(Outcome::from_check(!fail)))
+            })
+            .collect();
+        let report = classify_holdout(&[cause], &holdout);
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.false_positives + report.false_negatives, 0);
+        assert_eq!(report.total(), 9);
+    }
+
+    #[test]
+    fn missing_cause_costs_false_negatives() {
+        let space = ParamSpace::builder().ordinal("a", [1, 2, 3]).build();
+        let a = space.by_name("a").unwrap();
+        let real = Conjunction::new(vec![Predicate::eq(a, 3)]);
+        let holdout: Vec<(Instance, EvalResult)> = space
+            .instances()
+            .map(|inst| {
+                let fail = real.satisfied_by(&inst);
+                (inst, EvalResult::of(Outcome::from_check(!fail)))
+            })
+            .collect();
+        // No causes asserted: all failures are missed.
+        let report = classify_holdout(&[], &holdout);
+        assert_eq!(report.false_negatives, 1);
+        assert_eq!(report.true_negatives, 2);
+        assert!((report.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overbroad_cause_costs_false_positives() {
+        let space = ParamSpace::builder().ordinal("a", [1, 2, 3]).build();
+        let a = space.by_name("a").unwrap();
+        let real = Conjunction::new(vec![Predicate::eq(a, 3)]);
+        let broad = Conjunction::new(vec![Predicate::new(a, bugdoc_core::Comparator::Gt, 1)]);
+        let holdout: Vec<(Instance, EvalResult)> = space
+            .instances()
+            .map(|inst| {
+                let fail = real.satisfied_by(&inst);
+                (inst, EvalResult::of(Outcome::from_check(!fail)))
+            })
+            .collect();
+        let report = classify_holdout(&[broad], &holdout);
+        assert_eq!(report.false_positives, 1); // a = 2 predicted to fail
+        assert_eq!(report.true_positives, 1);
+    }
+
+    #[test]
+    fn empty_holdout() {
+        assert_eq!(classify_holdout(&[], &[]).accuracy(), 0.0);
+    }
+}

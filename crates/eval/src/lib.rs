@@ -1,0 +1,32 @@
+//! # bugdoc-eval
+//!
+//! The evaluation harness of the BugDoc reproduction (paper §5): the exact
+//! FindOne/FindAll precision–recall–F formulas, the budget-matched synthetic
+//! comparison against Data X-Ray / Explanation Tables / SMAC (Figures 2–4),
+//! the scalability sweeps (Figures 5–6), the holdout classifier accuracy
+//! (DBSherlock, §5.3), and plain-text table rendering for the figure
+//! binaries in `bugdoc-bench`.
+
+#![warn(missing_docs)]
+
+pub mod enrich;
+pub mod experiment;
+pub mod holdout;
+pub mod metrics;
+pub mod report;
+pub mod scalability;
+
+pub use enrich::{
+    enrich_explanations, Correlate, EnrichConfig, EnrichedExplanation, ObservationTable,
+};
+pub use experiment::{
+    run_scenario, BudgetGroup, ExperimentConfig, Goal, GroupResults, Method, MethodAggregate,
+    ScenarioResults,
+};
+pub use holdout::{classify_holdout, HoldoutReport};
+pub use metrics::{
+    conciseness, find_all_metrics, find_one_metrics, score_assertions, Conciseness, Metrics,
+    PipelineScore,
+};
+pub use report::{fmt1, fmt3, TextTable};
+pub use scalability::{ddt_speedup, instances_vs_params, InstanceCount, SpeedupPoint};

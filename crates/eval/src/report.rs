@@ -1,0 +1,102 @@
+//! Plain-text table rendering shared by the figure/table binaries: aligned
+//! columns, no dependencies, suitable for `EXPERIMENTS.md` transcription.
+
+/// A simple column-aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let n = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..n {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio-like metric to three decimals.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a mean count to one decimal.
+pub fn fmt1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["method", "precision", "recall"]);
+        t.row(vec!["BugDoc".into(), "1.000".into(), "0.950".into()]);
+        t.row(vec!["DataXRay+SMAC".into(), "0.310".into(), "0.870".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "precision" starts at the same offset in all rows.
+        let col = lines[0].find("precision").unwrap();
+        assert_eq!(&lines[2][col..col + 5], "1.000");
+        assert_eq!(&lines[3][col..col + 5], "0.310");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        TextTable::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.5), "0.500");
+        assert_eq!(fmt1(12.34), "12.3");
+    }
+}

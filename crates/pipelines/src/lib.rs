@@ -1,0 +1,30 @@
+//! # bugdoc-pipelines
+//!
+//! The real-world computational pipelines of the BugDoc evaluation
+//! (paper §5.3), plus the two motivating scenarios from the introduction,
+//! as deterministic simulators with planted root causes and exact ground
+//! truth (the substitutions are documented in `DESIGN.md` §5):
+//!
+//! * [`MlPipeline`] — the Figure-1 classification pipeline (Tables 1–2);
+//! * [`DataPolygamyPipeline`] — crash analysis over the 12-parameter
+//!   Data Polygamy experiment (20 min/instance);
+//! * [`GanPipeline`] — SAGAN/CIFAR-10 training with an FID threshold for
+//!   mode collapse (6 parameters × 5 values, ~10 h/instance);
+//! * [`DbSherlockDataset`] — labeled TPC-C anomaly logs over 15 bucketed
+//!   statistics × 8 buckets, replayed historically with a 50/25/25 split;
+//! * [`EnterpriseAnalyticsPipeline`], [`SupernovaPipeline`] — the intro
+//!   anecdotes.
+
+#![warn(missing_docs)]
+
+mod data_polygamy;
+mod dbsherlock;
+mod gan;
+mod intro;
+mod mlpipe;
+
+pub use data_polygamy::DataPolygamyPipeline;
+pub use dbsherlock::{AnomalyProblem, DbSherlockConfig, DbSherlockDataset, LogRecord};
+pub use gan::{GanPipeline, FID_THRESHOLD};
+pub use intro::{EnterpriseAnalyticsPipeline, SupernovaPipeline};
+pub use mlpipe::{MlPipeline, SCORE_THRESHOLD};

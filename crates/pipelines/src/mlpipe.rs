@@ -1,0 +1,216 @@
+//! The Figure-1 machine-learning classification pipeline.
+//!
+//! "The pipeline reads a dataset, splits it into training and test subsets,
+//! creates and executes an estimator, and computes the F-measure score using
+//! 10-fold cross-validation" (paper §1). The provenance of Figure 1 and the
+//! worked Example 1 (Tables 1 and 2) pin down the response surface this
+//! simulator reproduces:
+//!
+//! * gradient boosting scores low on Iris and Digits but high on Images;
+//! * decision trees work well on Iris and Digits; logistic regression is
+//!   high on Iris;
+//! * library version 2.0 carries a regression that drags every score below
+//!   the 0.6 threshold (0.3 under decision trees, 0.2 otherwise — Table 2).
+//!
+//! Ground truth (both causes are parameter-disjoint, so `R(CP)` is exact):
+//! `(Library Version = 2.0) ∨ (Estimator = Gradient Boosting ∧ Dataset ≠ Images)`.
+
+use bugdoc_core::{
+    Comparator, Conjunction, Dnf, EvalResult, Instance, ParamSpace, Predicate, ProvenanceStore,
+    Value,
+};
+use bugdoc_engine::{Pipeline, PipelineError, SimTime};
+use bugdoc_synth::Truth;
+use std::sync::Arc;
+
+/// The evaluation threshold of Example 1: succeed iff score ≥ 0.6.
+pub const SCORE_THRESHOLD: f64 = 0.6;
+
+/// The Figure-1 pipeline simulator.
+pub struct MlPipeline {
+    space: Arc<ParamSpace>,
+    truth: Truth,
+}
+
+impl MlPipeline {
+    /// Builds the pipeline with the paper's parameter universe.
+    pub fn new() -> Self {
+        let space = ParamSpace::builder()
+            .categorical("Dataset", ["Iris", "Digits", "Images"])
+            .categorical(
+                "Estimator",
+                ["Logistic Regression", "Decision Tree", "Gradient Boosting"],
+            )
+            .ordinal("Library Version", [1.0, 2.0])
+            .build();
+        let ds = space.by_name("Dataset").unwrap();
+        let est = space.by_name("Estimator").unwrap();
+        let v = space.by_name("Library Version").unwrap();
+        let truth = Truth::new(
+            &space,
+            Dnf::new(vec![
+                Conjunction::new(vec![Predicate::new(v, Comparator::Eq, 2.0)]),
+                Conjunction::new(vec![
+                    Predicate::eq(est, "Gradient Boosting"),
+                    Predicate::new(ds, Comparator::Neq, "Images"),
+                ]),
+            ]),
+        );
+        MlPipeline { space, truth }
+    }
+
+    /// The planted ground truth (for scoring experiments).
+    pub fn truth(&self) -> &Truth {
+        &self.truth
+    }
+
+    /// The deterministic cross-validation score of a configuration.
+    pub fn score(&self, instance: &Instance) -> f64 {
+        let ds = self.space.by_name("Dataset").unwrap();
+        let est = self.space.by_name("Estimator").unwrap();
+        let v = self.space.by_name("Library Version").unwrap();
+        let dataset = instance.get(ds);
+        let estimator = instance.get(est);
+
+        // The version-2.0 regression dominates everything (Table 2).
+        if instance.get(v) == &Value::float(2.0) {
+            return if estimator == &Value::from("Decision Tree") {
+                0.3
+            } else {
+                0.2
+            };
+        }
+        match (estimator.to_string().as_str(), dataset.to_string().as_str()) {
+            ("Logistic Regression", "Iris") => 0.9,
+            ("Logistic Regression", "Digits") => 0.8,
+            ("Logistic Regression", "Images") => 0.7,
+            ("Decision Tree", _) => 0.8,
+            ("Gradient Boosting", "Images") => 0.85,
+            ("Gradient Boosting", _) => 0.2,
+            _ => unreachable!("unknown configuration"),
+        }
+    }
+
+    /// The paper's Table 1: the initial (given) set of pipeline instances.
+    pub fn table1_history(&self) -> ProvenanceStore {
+        let mut prov = ProvenanceStore::new(self.space.clone());
+        for (d, e, v) in [
+            ("Iris", "Logistic Regression", 1.0),
+            ("Digits", "Decision Tree", 1.0),
+            ("Iris", "Gradient Boosting", 2.0),
+        ] {
+            let inst = self.instance(d, e, v);
+            let eval = self.execute(&inst).expect("simulator never fails to run");
+            prov.record(inst, eval);
+        }
+        prov
+    }
+
+    /// Convenience constructor for an instance.
+    pub fn instance(&self, dataset: &str, estimator: &str, version: f64) -> Instance {
+        Instance::from_pairs(
+            &self.space,
+            [
+                ("Dataset", dataset.into()),
+                ("Estimator", estimator.into()),
+                ("Library Version", version.into()),
+            ],
+        )
+    }
+}
+
+impl Default for MlPipeline {
+    fn default() -> Self {
+        MlPipeline::new()
+    }
+}
+
+impl Pipeline for MlPipeline {
+    fn space(&self) -> &Arc<ParamSpace> {
+        &self.space
+    }
+
+    fn execute(&self, instance: &Instance) -> Result<EvalResult, PipelineError> {
+        Ok(EvalResult::from_score_at_least(
+            self.score(instance),
+            SCORE_THRESHOLD,
+        ))
+    }
+
+    fn cost(&self, _instance: &Instance) -> SimTime {
+        // Training + 10-fold cross-validation on small datasets: minutes.
+        SimTime::from_mins(5.0)
+    }
+
+    fn name(&self) -> &str {
+        "ml-classification (Figure 1)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scores_match_paper() {
+        let p = MlPipeline::new();
+        assert_eq!(p.score(&p.instance("Iris", "Logistic Regression", 1.0)), 0.9);
+        assert_eq!(p.score(&p.instance("Digits", "Decision Tree", 1.0)), 0.8);
+        assert_eq!(p.score(&p.instance("Iris", "Gradient Boosting", 2.0)), 0.2);
+    }
+
+    #[test]
+    fn table2_new_instances_match_paper() {
+        let p = MlPipeline::new();
+        // The three instances Shortcut creates in Example 1, with the scores
+        // Table 2 lists.
+        assert_eq!(p.score(&p.instance("Digits", "Gradient Boosting", 2.0)), 0.2);
+        assert_eq!(p.score(&p.instance("Digits", "Decision Tree", 2.0)), 0.3);
+        assert_eq!(p.score(&p.instance("Digits", "Decision Tree", 1.0)), 0.8);
+    }
+
+    #[test]
+    fn intro_observations_hold() {
+        let p = MlPipeline::new();
+        // "gradient boosting leads to low scores for two of the datasets
+        // (Iris and Digits), but it has a high score for Images".
+        assert!(p.score(&p.instance("Iris", "Gradient Boosting", 1.0)) < SCORE_THRESHOLD);
+        assert!(p.score(&p.instance("Digits", "Gradient Boosting", 1.0)) < SCORE_THRESHOLD);
+        assert!(p.score(&p.instance("Images", "Gradient Boosting", 1.0)) >= SCORE_THRESHOLD);
+        // "decision trees work well for both the Iris and Digits datasets".
+        assert!(p.score(&p.instance("Iris", "Decision Tree", 1.0)) >= SCORE_THRESHOLD);
+        assert!(p.score(&p.instance("Digits", "Decision Tree", 1.0)) >= SCORE_THRESHOLD);
+        // "logistic regression leads to a high score for Iris".
+        assert!(p.score(&p.instance("Iris", "Logistic Regression", 1.0)) >= SCORE_THRESHOLD);
+    }
+
+    #[test]
+    fn evaluation_agrees_with_ground_truth_everywhere() {
+        let p = MlPipeline::new();
+        for inst in p.space.instances() {
+            let failed = p.execute(&inst).unwrap().outcome.is_fail();
+            assert_eq!(
+                failed,
+                p.truth().fails(&inst),
+                "disagreement at {}",
+                inst.display(&p.space)
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_has_two_causes() {
+        let p = MlPipeline::new();
+        assert_eq!(p.truth().len(), 2);
+    }
+
+    #[test]
+    fn table1_history_layout() {
+        let p = MlPipeline::new();
+        let prov = p.table1_history();
+        assert_eq!(prov.len(), 3);
+        assert_eq!(prov.failing().count(), 1);
+        let tsv = prov.to_tsv();
+        assert!(tsv.contains("Iris\tGradient Boosting\t2\t0.2\tfail"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Classic (binary) Quine–McCluskey minimization.
+//!
+//! BugDoc simplifies the disjunction-of-conjunctions output of Debugging
+//! Decision Trees with the Quine–McCluskey algorithm (paper §4, citing
+//! Huang 2014). This module is the textbook binary algorithm: prime-implicant
+//! generation by pairwise merging, then cover selection via essential primes
+//! and Petrick's method (exact for small charts, greedy beyond).
+//!
+//! Root causes over multi-valued parameter domains are minimized by the
+//! domain-aware generalization in [`crate::mv`]; this binary version is used
+//! for boolean sub-problems and as a differential-testing oracle.
+
+use std::collections::BTreeSet;
+
+/// A cube over `n` boolean variables: `bits` carries variable polarities,
+/// `mask` marks don't-care positions (1 = don't care).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cube {
+    /// Variable polarities (meaningful only where `mask` is 0).
+    pub bits: u32,
+    /// Don't-care positions.
+    pub mask: u32,
+}
+
+impl Cube {
+    /// A fully specified cube (a minterm).
+    pub fn minterm(bits: u32) -> Self {
+        Cube { bits, mask: 0 }
+    }
+
+    /// True if the cube covers the minterm.
+    pub fn covers(&self, minterm: u32) -> bool {
+        (minterm & !self.mask) == (self.bits & !self.mask)
+    }
+
+    /// Attempts the QM merge: two cubes with identical masks differing in
+    /// exactly one specified bit combine into one cube with that bit as a
+    /// don't-care.
+    pub fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = (self.bits ^ other.bits) & !self.mask;
+        if diff.count_ones() == 1 {
+            Some(Cube {
+                bits: self.bits & !diff,
+                mask: self.mask | diff,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of literals (specified positions) among the first `n_vars`.
+    pub fn literals(&self, n_vars: u32) -> u32 {
+        n_vars - (self.mask & mask_n(n_vars)).count_ones()
+    }
+
+    /// Renders like `1-0` (variable 0 leftmost).
+    pub fn render(&self, n_vars: u32) -> String {
+        (0..n_vars)
+            .map(|i| {
+                if self.mask >> i & 1 == 1 {
+                    '-'
+                } else if self.bits >> i & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+fn mask_n(n: u32) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Generates all prime implicants of the function whose on-set is `on` and
+/// whose don't-care set is `dc` (both lists of minterms over `n_vars`
+/// variables).
+pub fn prime_implicants(n_vars: u32, on: &[u32], dc: &[u32]) -> Vec<Cube> {
+    assert!(n_vars <= 24, "binary QM limited to 24 variables");
+    let mut current: BTreeSet<Cube> = on
+        .iter()
+        .chain(dc.iter())
+        .map(|&m| Cube::minterm(m & mask_n(n_vars)))
+        .collect();
+    let mut primes: BTreeSet<Cube> = BTreeSet::new();
+
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; cubes.len()];
+        let mut next: BTreeSet<Cube> = BTreeSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(m) = cubes[i].merge(&cubes[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, cube) in cubes.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.insert(*cube);
+            }
+        }
+        current = next;
+    }
+    primes.into_iter().collect()
+}
+
+/// Minimizes the function: returns a minimal (fewest-cubes, then
+/// fewest-literals) subset of prime implicants covering every on-set minterm.
+/// Exact when the reduced chart has ≤ `EXACT_LIMIT` primes (Petrick's
+/// method); greedy set-cover otherwise.
+pub fn minimize(n_vars: u32, on: &[u32], dc: &[u32]) -> Vec<Cube> {
+    let on: Vec<u32> = {
+        let mut v: Vec<u32> = on.iter().map(|&m| m & mask_n(n_vars)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    if on.is_empty() {
+        return Vec::new();
+    }
+    let primes = prime_implicants(n_vars, &on, dc);
+
+    // Chart: for each on-set minterm, which primes cover it.
+    let coverers: Vec<Vec<usize>> = on
+        .iter()
+        .map(|&m| {
+            (0..primes.len())
+                .filter(|&p| primes[p].covers(m))
+                .collect()
+        })
+        .collect();
+
+    // Essential primes: sole coverer of some minterm.
+    let mut chosen: BTreeSet<usize> = BTreeSet::new();
+    for cov in &coverers {
+        if cov.len() == 1 {
+            chosen.insert(cov[0]);
+        }
+    }
+    let mut uncovered: Vec<usize> = (0..on.len())
+        .filter(|&i| !coverers[i].iter().any(|p| chosen.contains(p)))
+        .collect();
+
+    const EXACT_LIMIT: usize = 16;
+    let remaining_primes: BTreeSet<usize> = uncovered
+        .iter()
+        .flat_map(|&i| coverers[i].iter().copied())
+        .collect();
+
+    if !uncovered.is_empty() {
+        if remaining_primes.len() <= EXACT_LIMIT {
+            // Petrick: exhaustive search over subsets of the remaining primes,
+            // smallest cube count first, then fewest literals.
+            let remaining: Vec<usize> = remaining_primes.into_iter().collect();
+            let mut best: Option<(usize, u32, Vec<usize>)> = None;
+            for subset in 0u32..(1 << remaining.len()) {
+                let picked: Vec<usize> = remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| subset >> k & 1 == 1)
+                    .map(|(_, &p)| p)
+                    .collect();
+                let covers_all = uncovered
+                    .iter()
+                    .all(|&i| coverers[i].iter().any(|p| picked.contains(p)));
+                if covers_all {
+                    let lits: u32 = picked.iter().map(|&p| primes[p].literals(n_vars)).sum();
+                    let candidate = (picked.len(), lits, picked.clone());
+                    if best
+                        .as_ref()
+                        .map(|b| (candidate.0, candidate.1) < (b.0, b.1))
+                        .unwrap_or(true)
+                    {
+                        best = Some(candidate);
+                    }
+                }
+            }
+            for p in best.expect("primes cover the on-set by construction").2 {
+                chosen.insert(p);
+            }
+        } else {
+            // Greedy: repeatedly take the prime covering the most uncovered
+            // minterms (fewest literals breaks ties).
+            while !uncovered.is_empty() {
+                let best = (0..primes.len())
+                    .filter(|p| !chosen.contains(p))
+                    .max_by_key(|&p| {
+                        let gain = uncovered
+                            .iter()
+                            .filter(|&&i| coverers[i].contains(&p))
+                            .count();
+                        (gain, std::cmp::Reverse(primes[p].literals(n_vars)))
+                    })
+                    .expect("primes cover the on-set by construction");
+                chosen.insert(best);
+                uncovered.retain(|&i| !coverers[i].contains(&best));
+            }
+        }
+    }
+
+    chosen.into_iter().map(|p| primes[p]).collect()
+}
+
+/// Evaluates a cover on a minterm (true iff some cube covers it).
+pub fn cover_evaluates(cover: &[Cube], minterm: u32) -> bool {
+    cover.iter().any(|c| c.covers(minterm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks a cover is semantically equal to the on-set (modulo dc).
+    fn assert_equivalent(n_vars: u32, on: &[u32], dc: &[u32], cover: &[Cube]) {
+        let on_set: BTreeSet<u32> = on.iter().copied().collect();
+        let dc_set: BTreeSet<u32> = dc.iter().copied().collect();
+        for m in 0..(1u32 << n_vars) {
+            let val = cover_evaluates(cover, m);
+            if on_set.contains(&m) {
+                assert!(val, "minterm {m} must be covered");
+            } else if !dc_set.contains(&m) {
+                assert!(!val, "minterm {m} must not be covered");
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_example() {
+        // f(a,b,c,d) with on-set {4,8,10,11,12,15}, dc {9,14} — the classic
+        // Wikipedia example; minimal cover has 3 cubes.
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let cover = minimize(4, &on, &dc);
+        assert_equivalent(4, &on, &dc, &cover);
+        assert!(cover.len() <= 3, "got {} cubes", cover.len());
+    }
+
+    #[test]
+    fn single_variable_function() {
+        // f(a) = a  (on-set {1}).
+        let cover = minimize(1, &[1], &[]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].render(1), "1");
+    }
+
+    #[test]
+    fn tautology_merges_to_empty_cube() {
+        // All minterms on: the cover is the single all-dont-care cube.
+        let on: Vec<u32> = (0..8).collect();
+        let cover = minimize(3, &on, &[]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].mask, 0b111);
+        assert_equivalent(3, &on, &[], &cover);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        assert!(minimize(3, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn xor_cannot_merge() {
+        // XOR: no two on-set minterms are adjacent; cover = the minterms.
+        let on = [0b01, 0b10];
+        let cover = minimize(2, &on, &[]);
+        assert_eq!(cover.len(), 2);
+        assert_equivalent(2, &on, &[], &cover);
+    }
+
+    #[test]
+    fn redundant_input_terms_removed() {
+        // f = a ∨ (a ∧ b): on-set {10,11,01×? } over (a,b) -> {2,3} ∪ {3} = {2,3}
+        // bit0 = a? Use bits: a=bit1, b=bit0. a=1 -> {2,3}. Minimal: single cube a=1.
+        let on = [2, 3];
+        let cover = minimize(2, &on, &[]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].render(2), "-1"); // var0 dontcare, var1=1
+        assert_equivalent(2, &on, &[], &cover);
+    }
+
+    #[test]
+    fn cube_merge_rules() {
+        let a = Cube::minterm(0b000);
+        let b = Cube::minterm(0b001);
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.mask, 0b001);
+        assert!(m.covers(0b000) && m.covers(0b001));
+        // Non-adjacent minterms don't merge.
+        assert!(a.merge(&Cube::minterm(0b011)).is_none());
+        // Different masks don't merge.
+        assert!(m.merge(&a).is_none());
+    }
+
+    #[test]
+    fn dont_cares_enable_larger_cubes() {
+        // on {0}, dc {1}: can merge to a single cube over 1 var.
+        let cover = minimize(1, &[0], &[1]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].mask & 1, 1);
+    }
+
+    #[test]
+    fn greedy_path_exercised_on_larger_chart() {
+        // 6 variables, on-set = all minterms with odd parity of the low 3
+        // bits: merges happen within high-bit groups; just check equivalence.
+        let on: Vec<u32> = (0..64u32)
+            .filter(|m| (m & 0b111).count_ones() % 2 == 1)
+            .collect();
+        let cover = minimize(6, &on, &[]);
+        assert_equivalent(6, &on, &[], &cover);
+    }
+
+    #[test]
+    fn literals_count() {
+        let c = Cube {
+            bits: 0b101,
+            mask: 0b010,
+        };
+        assert_eq!(c.literals(3), 2);
+        assert_eq!(c.render(3), "1-1");
+    }
+}

@@ -1,0 +1,17 @@
+//! # bugdoc-qm
+//!
+//! Quine–McCluskey logic minimization for the BugDoc reproduction
+//! (paper §4: explanation simplification).
+//!
+//! * [`boolean`] — the textbook binary algorithm (prime implicants via cube
+//!   merging; cover via essential primes + Petrick's method).
+//! * [`mv`] — the multi-valued generalization over parameter domains, used to
+//!   simplify the disjunction-of-conjunctions output of Debugging Decision
+//!   Trees into concise root causes.
+
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod mv;
+
+pub use mv::{cause_covered_by, minimize_dnf, simplify_conjunction};

@@ -1,0 +1,496 @@
+//! Multi-valued logic minimization of root-cause DNFs.
+//!
+//! Debugging Decision Trees returns disjunctions of conjunctions that "may
+//! contain redundancies, which we simplify using the Quine-McCluskey
+//! algorithm. The goal is to create concise explanations" (paper §4). Root
+//! causes range over *multi-valued* parameter domains, so this module
+//! implements the multi-valued generalization of Quine–McCluskey (in the
+//! style of Espresso-MV): each conjunction canonicalizes to a *cube* — a
+//! product of per-parameter allowed sets — and the algorithm applies
+//!
+//! 1. **absorption** (drop cubes implied by another cube),
+//! 2. **merging** (two cubes equal on all but one parameter union into one —
+//!    the MV analogue of the QM adjacency merge),
+//! 3. **expansion** (raise a cube's allowed sets, or drop a parameter
+//!    entirely, while staying inside the original function), and
+//! 4. **irredundant cover** (drop cubes covered by the union of the rest),
+//!
+//! all of which preserve the denoted instance set exactly. Binary inputs
+//! reduce to classic Quine–McCluskey (see the differential test against
+//! [`crate::boolean`]).
+
+use bugdoc_core::{CanonicalCause, Conjunction, Dnf, ParamSpace};
+
+/// A dense cube: one allowed-mask per parameter (full masks included, unlike
+/// [`CanonicalCause`] which drops them).
+type DenseCube = Vec<Vec<bool>>;
+
+fn to_dense(space: &ParamSpace, canon: &CanonicalCause) -> DenseCube {
+    space
+        .ids()
+        .map(|p| match canon.mask(p) {
+            Some(m) => m.to_vec(),
+            None => vec![true; space.domain(p).len()],
+        })
+        .collect()
+}
+
+fn from_dense(space: &ParamSpace, cube: &DenseCube) -> CanonicalCause {
+    let mut masks = std::collections::BTreeMap::new();
+    for (i, mask) in cube.iter().enumerate() {
+        masks.insert(bugdoc_core::ParamId(i as u32), mask.clone());
+    }
+    CanonicalCause::from_masks(space, masks)
+}
+
+fn is_empty_cube(cube: &DenseCube) -> bool {
+    cube.iter().any(|m| m.iter().all(|&b| !b))
+}
+
+fn is_full_cube(cube: &DenseCube) -> bool {
+    cube.iter().all(|m| m.iter().all(|&b| b))
+}
+
+/// `a ⊆ b` as product sets (per-parameter mask inclusion).
+fn cube_implies(a: &DenseCube, b: &DenseCube) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(ma, mb)| ma.iter().zip(mb.iter()).all(|(&x, &y)| !x || y))
+}
+
+fn cubes_intersect(a: &DenseCube, b: &DenseCube) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(ma, mb)| ma.iter().zip(mb.iter()).any(|(&x, &y)| x && y))
+}
+
+/// The parameter index where `a` and `b` differ, provided they are equal on
+/// every other parameter (the MV merge precondition).
+fn differs_in_exactly_one(a: &DenseCube, b: &DenseCube) -> Option<usize> {
+    let mut found = None;
+    for (p, (ma, mb)) in a.iter().zip(b.iter()).enumerate() {
+        if ma != mb {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(p);
+        }
+    }
+    found
+}
+
+/// Is `cube ⊆ ⋃ cover`? Decided by recursive splitting: pick a covering cube
+/// `c` that intersects `cube`; if `cube ⊆ c` we are done, otherwise split
+/// `cube` along one parameter into the part inside `c` and the part outside,
+/// and recurse on both. Each split strictly shrinks the cube, so the
+/// recursion terminates.
+fn covered_by(cube: &DenseCube, cover: &[DenseCube]) -> bool {
+    if is_empty_cube(cube) {
+        return true;
+    }
+    let candidate = cover.iter().find(|c| cubes_intersect(cube, c));
+    let Some(c) = candidate else {
+        return false;
+    };
+    if cube_implies(cube, c) {
+        return true;
+    }
+    // A parameter where cube sticks out of c must exist (cube ⊄ c).
+    let p = cube
+        .iter()
+        .zip(c.iter())
+        .position(|(ma, mb)| ma.iter().zip(mb.iter()).any(|(&x, &y)| x && !y))
+        .expect("cube not contained in c, so some mask sticks out");
+    let mut inside = cube.clone();
+    let mut outside = cube.clone();
+    for i in 0..cube[p].len() {
+        inside[p][i] = cube[p][i] && c[p][i];
+        outside[p][i] = cube[p][i] && !c[p][i];
+    }
+    covered_by(&inside, cover) && covered_by(&outside, cover)
+}
+
+/// Drops cubes implied by another cube (keeping the first of equal pairs).
+fn absorb(cubes: &mut Vec<DenseCube>) {
+    let mut i = 0;
+    while i < cubes.len() {
+        let absorbed = (0..cubes.len())
+            .any(|j| j != i && cube_implies(&cubes[i], &cubes[j]) && !(j > i && cubes[i] == cubes[j]));
+        if absorbed {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Repeatedly merges cube pairs that differ in exactly one parameter.
+fn merge_pass(cubes: &mut Vec<DenseCube>) {
+    loop {
+        let mut merged = None;
+        'outer: for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(p) = differs_in_exactly_one(&cubes[i], &cubes[j]) {
+                    let mut m = cubes[i].clone();
+                    for k in 0..m[p].len() {
+                        m[p][k] = cubes[i][p][k] || cubes[j][p][k];
+                    }
+                    merged = Some((i, j, m));
+                    break 'outer;
+                }
+            }
+        }
+        match merged {
+            Some((i, j, m)) => {
+                cubes.remove(j);
+                cubes.remove(i);
+                cubes.push(m);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Expands each cube against the reference function `f`: first tries to free
+/// whole parameters (set the mask full), then individual values, keeping
+/// every expansion that stays inside `⋃ f`. Freed parameters disappear from
+/// the final conjunction — this is what turns a verbose tree path into a
+/// minimal cause.
+fn expand_pass(cubes: &mut [DenseCube], f: &[DenseCube]) {
+    for idx in 0..cubes.len() {
+        let mut cube = cubes[idx].clone();
+        for p in 0..cube.len() {
+            // Whole-parameter expansion.
+            let saved = cube[p].clone();
+            if saved.iter().any(|&b| !b) {
+                cube[p].iter_mut().for_each(|b| *b = true);
+                if !covered_by(&cube, f) {
+                    cube[p] = saved.clone();
+                    // Per-value expansion.
+                    for v in 0..cube[p].len() {
+                        if !cube[p][v] {
+                            cube[p][v] = true;
+                            if !covered_by(&cube, f) {
+                                cube[p][v] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cubes[idx] = cube;
+    }
+}
+
+/// Removes cubes covered by the union of the remaining cubes.
+fn irredundant_pass(cubes: &mut Vec<DenseCube>) {
+    let mut i = 0;
+    while i < cubes.len() {
+        let rest: Vec<DenseCube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        if covered_by(&cubes[i], &rest) {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Minimizes a DNF of root causes over a finite parameter space. The result
+/// denotes exactly the same set of instances (a property-tested invariant)
+/// with no redundant conjunct, no conjunct expressible more simply, and no
+/// pair of conjuncts mergeable into one.
+pub fn minimize_dnf(space: &ParamSpace, dnf: &Dnf) -> Dnf {
+    let mut cubes: Vec<DenseCube> = dnf
+        .conjuncts()
+        .iter()
+        .map(|c| to_dense(space, &c.canonicalize(space)))
+        .filter(|c| !is_empty_cube(c))
+        .collect();
+
+    if cubes.iter().any(is_full_cube) {
+        // Some conjunct is a tautology: the whole DNF is ⊤.
+        return Dnf::new(vec![Conjunction::top()]);
+    }
+    if cubes.is_empty() {
+        return Dnf::bottom();
+    }
+
+    let f = cubes.clone(); // the reference function, fixed
+    absorb(&mut cubes);
+    merge_pass(&mut cubes);
+    expand_pass(&mut cubes, &f);
+    if cubes.iter().any(is_full_cube) {
+        return Dnf::new(vec![Conjunction::top()]);
+    }
+    absorb(&mut cubes);
+    merge_pass(&mut cubes);
+    irredundant_pass(&mut cubes);
+
+    Dnf::new(
+        cubes
+            .iter()
+            .map(|c| from_dense(space, c).to_conjunction(space))
+            .collect(),
+    )
+}
+
+/// Semantic coverage check exposed for ground-truth computations: is every
+/// instance satisfying `cause` covered by some member of `cover`? This is
+/// exactly the *definitive root cause* test against a known failure DNF
+/// (paper Def. 4): `cause ⊨ ⋁ cover`.
+pub fn cause_covered_by(
+    space: &ParamSpace,
+    cause: &CanonicalCause,
+    cover: &[CanonicalCause],
+) -> bool {
+    let cube = to_dense(space, cause);
+    let cover: Vec<DenseCube> = cover.iter().map(|c| to_dense(space, c)).collect();
+    covered_by(&cube, &cover)
+}
+
+/// Simplifies a single conjunction to its shortest equivalent form over the
+/// space (e.g. `n ≠ 1 ∧ n ≠ 2` over `{1..5}` becomes `n > 2`). Returns `None`
+/// if the conjunction is unsatisfiable over the space.
+pub fn simplify_conjunction(space: &ParamSpace, conj: &Conjunction) -> Option<Conjunction> {
+    let canon = conj.canonicalize(space);
+    if canon.is_unsatisfiable() {
+        return None;
+    }
+    Some(canon.to_conjunction(space))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{Comparator, ParamSpace, Predicate};
+    use std::sync::Arc;
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("n", [1, 2, 3, 4, 5])
+            .categorical("color", ["red", "green", "blue"])
+            .build()
+    }
+
+    fn assert_equivalent(space: &ParamSpace, a: &Dnf, b: &Dnf) {
+        for inst in space.instances() {
+            assert_eq!(
+                a.satisfied_by(&inst),
+                b.satisfied_by(&inst),
+                "disagree on {}:\n a={}\n b={}",
+                inst.display(space),
+                a.display(space),
+                b.display(space)
+            );
+        }
+    }
+
+    #[test]
+    fn absorbs_subsumed_conjunct() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let color = s.by_name("color").unwrap();
+        // (n > 3) ∨ (n > 3 ∧ color = red) -> (n > 3).
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::new(n, Comparator::Gt, 3)]),
+            Conjunction::new(vec![
+                Predicate::new(n, Comparator::Gt, 3),
+                Predicate::eq(color, "red"),
+            ]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        assert_equivalent(&s, &dnf, &min);
+    }
+
+    #[test]
+    fn merges_adjacent_values() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        // (n = 4) ∨ (n = 5) -> (n > 3).
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::eq(n, 4)]),
+            Conjunction::new(vec![Predicate::eq(n, 5)]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.conjuncts()[0].predicates().len(), 1);
+        assert_equivalent(&s, &dnf, &min);
+    }
+
+    #[test]
+    fn merges_categorical_cover_to_top_param() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let color = s.by_name("color").unwrap();
+        // (n=5 ∧ color=red) ∨ (n=5 ∧ color=green) ∨ (n=5 ∧ color=blue) -> n=5.
+        let dnf = Dnf::new(
+            ["red", "green", "blue"]
+                .into_iter()
+                .map(|c| {
+                    Conjunction::new(vec![Predicate::eq(n, 5), Predicate::eq(color, c)])
+                })
+                .collect(),
+        );
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.conjuncts()[0].predicates().len(), 1);
+        assert_equivalent(&s, &dnf, &min);
+    }
+
+    #[test]
+    fn expansion_drops_redundant_parameter() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let color = s.by_name("color").unwrap();
+        // (n=5 ∧ color=red) ∨ (n=5 ∧ color≠red): color is irrelevant.
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::eq(n, 5), Predicate::eq(color, "red")]),
+            Conjunction::new(vec![
+                Predicate::eq(n, 5),
+                Predicate::new(color, Comparator::Neq, "red"),
+            ]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        let c = &min.conjuncts()[0];
+        assert_eq!(c.predicates().len(), 1);
+        assert_eq!(c.predicates()[0].param, n);
+        assert_equivalent(&s, &dnf, &min);
+    }
+
+    #[test]
+    fn keeps_genuinely_disjoint_causes() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let color = s.by_name("color").unwrap();
+        // The paper's Example 4 shape: (n = 4) ∨ (n < 3 ∧ color ≠ blue).
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::eq(n, 4)]),
+            Conjunction::new(vec![
+                Predicate::new(n, Comparator::Le, 2),
+                Predicate::new(color, Comparator::Neq, "blue"),
+            ]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 2);
+        assert_equivalent(&s, &dnf, &min);
+    }
+
+    #[test]
+    fn tautology_collapses_to_top() {
+        let s = space();
+        let color = s.by_name("color").unwrap();
+        // color=red ∨ color≠red ≡ ⊤.
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::eq(color, "red")]),
+            Conjunction::new(vec![Predicate::new(color, Comparator::Neq, "red")]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        assert!(min.conjuncts()[0].is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_conjuncts_dropped() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let dnf = Dnf::new(vec![Conjunction::new(vec![
+            Predicate::new(n, Comparator::Le, 2),
+            Predicate::new(n, Comparator::Gt, 3),
+        ])]);
+        assert!(minimize_dnf(&s, &dnf).is_empty());
+        assert!(minimize_dnf(&s, &Dnf::bottom()).is_empty());
+    }
+
+    #[test]
+    fn irredundant_removes_union_covered_cube() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        // (n ≤ 2) ∨ (n > 2) ∨ (n = 3): third is covered by the union (and the
+        // first two merge into ⊤).
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::new(n, Comparator::Le, 2)]),
+            Conjunction::new(vec![Predicate::new(n, Comparator::Gt, 2)]),
+            Conjunction::new(vec![Predicate::eq(n, 3)]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        assert!(min.conjuncts()[0].is_empty());
+    }
+
+    #[test]
+    fn simplify_single_conjunction() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let c = Conjunction::new(vec![
+            Predicate::new(n, Comparator::Neq, 1),
+            Predicate::new(n, Comparator::Neq, 2),
+        ]);
+        let simplified = simplify_conjunction(&s, &c).unwrap();
+        assert_eq!(simplified.predicates().len(), 1);
+        assert_eq!(simplified.predicates()[0].cmp, Comparator::Gt);
+
+        let unsat = Conjunction::new(vec![
+            Predicate::new(n, Comparator::Le, 1),
+            Predicate::new(n, Comparator::Gt, 2),
+        ]);
+        assert!(simplify_conjunction(&s, &unsat).is_none());
+    }
+
+    #[test]
+    fn covered_by_splitting_logic() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        // cube n∈{2,3,4} covered by {n≤3} ∪ {n>3}? yes.
+        let cube = to_dense(
+            &s,
+            &Conjunction::new(vec![
+                Predicate::new(n, Comparator::Gt, 1),
+                Predicate::new(n, Comparator::Le, 4),
+            ])
+            .canonicalize(&s),
+        );
+        let a = to_dense(
+            &s,
+            &Conjunction::new(vec![Predicate::new(n, Comparator::Le, 3)]).canonicalize(&s),
+        );
+        let b = to_dense(
+            &s,
+            &Conjunction::new(vec![Predicate::new(n, Comparator::Gt, 3)]).canonicalize(&s),
+        );
+        assert!(covered_by(&cube, &[a.clone(), b]));
+        assert!(!covered_by(&cube, &[a]));
+    }
+
+    /// One instance from the paper's running theme: minimization of the DDT
+    /// output over the Figure-1 space.
+    #[test]
+    fn figure1_style_minimization() {
+        let s = ParamSpace::builder()
+            .categorical("Dataset", ["Iris", "Digits", "Images"])
+            .categorical("Estimator", ["LR", "DT", "GB"])
+            .ordinal("Version", [1, 2])
+            .build();
+        let ds = s.by_name("Dataset").unwrap();
+        let est = s.by_name("Estimator").unwrap();
+        // (Dataset=Iris ∧ Estimator=GB) ∨ (Dataset=Digits ∧ Estimator=GB)
+        // -> Dataset ≠ Images ∧ Estimator = GB.
+        let dnf = Dnf::new(vec![
+            Conjunction::new(vec![Predicate::eq(ds, "Iris"), Predicate::eq(est, "GB")]),
+            Conjunction::new(vec![Predicate::eq(ds, "Digits"), Predicate::eq(est, "GB")]),
+        ]);
+        let min = minimize_dnf(&s, &dnf);
+        assert_eq!(min.len(), 1);
+        let c = &min.conjuncts()[0];
+        assert_eq!(c.predicates().len(), 2);
+        assert_equivalent(&s, &dnf, &min);
+        let txt = min.display(&s).to_string();
+        assert!(txt.contains("Dataset ≠ Images"), "got {txt}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # bugdoc-synth
+//!
+//! The synthetic pipeline benchmark of the BugDoc evaluation (paper §5.1):
+//! a reproducible generator of parameter spaces with planted
+//! parameter-comparator-value root causes in the paper's three shapes
+//! (single triple, single conjunction, disjunction of conjunctions), plus the
+//! exact ground-truth machinery (`R(CP)`, definitive tests, witness
+//! sampling) that precision/recall scoring requires.
+
+#![warn(missing_docs)]
+
+mod generator;
+pub mod truth;
+
+pub use generator::{CauseScenario, SynthConfig, SyntheticPipeline};
+pub use truth::{sample_instance, Truth};

@@ -1,0 +1,473 @@
+//! Ground-truth machinery for planted failure conditions.
+//!
+//! The evaluation (paper §5) needs, for every synthetic pipeline, the set
+//! `R(CP)` of *actual* minimal definitive root causes to score asserted
+//! causes against. This module provides:
+//!
+//! * the **definitive test** (Def. 4): `cause ⊨ failure-DNF`, decided exactly
+//!   over the finite product domain;
+//! * a **witness solver** that constructs succeeding (or failing) instances
+//!   directly, used to seed experiment histories with both outcomes;
+//! * the **ground-truth set**: with planted conjuncts that are pairwise
+//!   parameter-disjoint, satisfiable, and non-tautological (the generator's
+//!   invariants), every minimal definitive root cause is semantically equal
+//!   to one planted conjunct — see the proof sketch in `DESIGN.md` §8 — so
+//!   `R(CP)` is simply their canonical forms.
+
+use bugdoc_core::{CanonicalCause, Conjunction, Dnf, Instance, ParamSpace, Value};
+use bugdoc_qm::cause_covered_by;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The planted failure condition of a synthetic pipeline together with its
+/// derived ground truth.
+#[derive(Debug, Clone)]
+pub struct Truth {
+    failure: Dnf,
+    canon: Vec<CanonicalCause>,
+}
+
+impl Truth {
+    /// Wraps a planted failure DNF. Unsatisfiable conjuncts are dropped.
+    pub fn new(space: &ParamSpace, failure: Dnf) -> Self {
+        let canon: Vec<CanonicalCause> = failure
+            .conjuncts()
+            .iter()
+            .map(|c| c.canonicalize(space))
+            .filter(|c| !c.is_unsatisfiable())
+            .collect();
+        Truth { failure, canon }
+    }
+
+    /// The planted failure DNF.
+    pub fn failure_dnf(&self) -> &Dnf {
+        &self.failure
+    }
+
+    /// Canonical forms of the planted conjuncts — the ground-truth set
+    /// `R(CP)` under the generator's invariants.
+    pub fn minimal_causes(&self) -> &[CanonicalCause] {
+        &self.canon
+    }
+
+    /// Number of ground-truth causes.
+    pub fn len(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// True when nothing was planted.
+    pub fn is_empty(&self) -> bool {
+        self.canon.is_empty()
+    }
+
+    /// Def. 2 for the synthetic pipelines: an instance fails iff it satisfies
+    /// the planted DNF.
+    pub fn fails(&self, instance: &Instance) -> bool {
+        self.failure.satisfied_by(instance)
+    }
+
+    /// Def. 4: is `cause` a definitive root cause of this failure condition?
+    /// (Every instance satisfying it fails.) Exact, via cube coverage.
+    pub fn is_definitive(&self, space: &ParamSpace, cause: &Conjunction) -> bool {
+        let canon = cause.canonicalize(space);
+        if canon.is_unsatisfiable() {
+            return false; // vacuous causes explain nothing
+        }
+        cause_covered_by(space, &canon, &self.canon)
+    }
+
+    /// Is the asserted cause one of the actual minimal definitive root
+    /// causes (semantic equality against `R(CP)`)?
+    pub fn matches_minimal(&self, space: &ParamSpace, cause: &Conjunction) -> bool {
+        let canon = cause.canonicalize(space);
+        self.canon.contains(&canon)
+    }
+
+    /// Constructs an instance that *succeeds* (violates every planted
+    /// conjunct), sampling uniformly among the solver's feasible choices.
+    /// `None` when every instance fails.
+    pub fn sample_succeeding(&self, space: &ParamSpace, rng: &mut StdRng) -> Option<Instance> {
+        // Start unconstrained; for each conjunct pick one constrained
+        // parameter and confine the instance to that predicate's complement.
+        let mut masks: Vec<Vec<bool>> = space
+            .ids()
+            .map(|p| vec![true; space.domain(p).len()])
+            .collect();
+        if !solve_avoid(space, &self.canon, 0, &mut masks, rng) {
+            return None;
+        }
+        Some(sample_from_masks(space, &masks, rng))
+    }
+
+    /// Constructs an instance that *fails* by satisfying a uniformly chosen
+    /// planted conjunct. `None` when nothing is planted.
+    pub fn sample_failing(&self, space: &ParamSpace, rng: &mut StdRng) -> Option<Instance> {
+        if self.canon.is_empty() {
+            return None;
+        }
+        self.sample_failing_cause(space, rng.gen_range(0..self.canon.len()), rng)
+    }
+
+    /// Constructs an instance that fails by satisfying the planted conjunct
+    /// at `idx` — stratified failure sampling (seed histories that witness
+    /// *every* cause).
+    pub fn sample_failing_cause(
+        &self,
+        space: &ParamSpace,
+        idx: usize,
+        rng: &mut StdRng,
+    ) -> Option<Instance> {
+        if idx >= self.canon.len() {
+            return None;
+        }
+        let pick = &self.canon[idx];
+        let masks: Vec<Vec<bool>> = space
+            .ids()
+            .map(|p| match pick.mask(p) {
+                Some(m) => m.to_vec(),
+                None => vec![true; space.domain(p).len()],
+            })
+            .collect();
+        Some(sample_from_masks(space, &masks, rng))
+    }
+
+    /// Exact fraction of the space that fails, by inclusion–exclusion over
+    /// the planted conjuncts (they are few). Used by the generator to reject
+    /// degenerate plants.
+    pub fn failure_fraction(&self, space: &ParamSpace) -> f64 {
+        let k = self.canon.len();
+        assert!(k <= 16, "inclusion-exclusion over too many conjuncts");
+        let total = space.total_configurations();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut covered = 0.0;
+        for subset in 1u32..(1 << k) {
+            let members: Vec<&CanonicalCause> = (0..k)
+                .filter(|i| subset >> i & 1 == 1)
+                .map(|i| &self.canon[i])
+                .collect();
+            let inter = intersection_count(space, &members);
+            let sign = if members.len() % 2 == 1 { 1.0 } else { -1.0 };
+            covered += sign * inter as f64;
+        }
+        covered / total as f64
+    }
+}
+
+/// Constructs an instance that satisfies `require` (if given) while
+/// violating every cause in `avoid`. `None` if no such instance exists.
+/// Used e.g. to plant anomaly logs of one class that do not accidentally
+/// exhibit another class (the DBSherlock scenario, paper §5.3).
+pub fn sample_instance(
+    space: &ParamSpace,
+    require: Option<&CanonicalCause>,
+    avoid: &[CanonicalCause],
+    rng: &mut StdRng,
+) -> Option<Instance> {
+    let mut masks: Vec<Vec<bool>> = space
+        .ids()
+        .map(|p| match require.and_then(|r| r.mask(p)) {
+            Some(m) => m.to_vec(),
+            None => vec![true; space.domain(p).len()],
+        })
+        .collect();
+    if masks.iter().any(|m| m.iter().all(|&b| !b)) {
+        return None;
+    }
+    if !solve_avoid(space, avoid, 0, &mut masks, rng) {
+        return None;
+    }
+    Some(sample_from_masks(space, &masks, rng))
+}
+
+/// Number of instances satisfying *all* the given causes simultaneously.
+fn intersection_count(space: &ParamSpace, causes: &[&CanonicalCause]) -> u128 {
+    space
+        .ids()
+        .map(|p| {
+            let n = space.domain(p).len();
+            (0..n)
+                .filter(|&i| causes.iter().all(|c| c.mask(p).map(|m| m[i]).unwrap_or(true)))
+                .count() as u128
+        })
+        .try_fold(1u128, |acc, n| acc.checked_mul(n))
+        .unwrap_or(u128::MAX)
+}
+
+/// Backtracking solver: confine `masks` so that every conjunct from index
+/// `at` onward is violated. Branch choices are shuffled for unbiased
+/// sampling.
+fn solve_avoid(
+    space: &ParamSpace,
+    conjuncts: &[CanonicalCause],
+    at: usize,
+    masks: &mut [Vec<bool>],
+    rng: &mut StdRng,
+) -> bool {
+    let Some(conjunct) = conjuncts.get(at) else {
+        return true; // all conjuncts handled
+    };
+    // Already violated by the current masks? (No remaining value on some
+    // parameter can satisfy the conjunct's mask.)
+    let already = space.ids().any(|p| {
+        conjunct.mask(p).is_some_and(|cm| {
+            masks[p.index()]
+                .iter()
+                .zip(cm.iter())
+                .all(|(&alive, &ok)| !(alive && ok))
+        })
+    });
+    if already {
+        return solve_avoid(space, conjuncts, at + 1, masks, rng);
+    }
+    // Choose a constrained parameter and confine to the complement.
+    let mut params: Vec<_> = conjunct.masks().keys().copied().collect();
+    // Shuffle via Fisher–Yates on indices for sampling diversity.
+    for i in (1..params.len()).rev() {
+        params.swap(i, rng.gen_range(0..=i));
+    }
+    for p in params {
+        let cm = conjunct.mask(p).expect("constrained parameter");
+        let saved = masks[p.index()].clone();
+        let mut feasible = false;
+        for (slot, (&alive, &ok)) in masks[p.index()]
+            .iter_mut()
+            .zip(saved.iter().zip(cm.iter()))
+            .map(|(slot, pair)| (slot, pair))
+        {
+            *slot = alive && !ok;
+            feasible |= *slot;
+        }
+        if feasible && solve_avoid(space, conjuncts, at + 1, masks, rng) {
+            return true;
+        }
+        masks[p.index()].copy_from_slice(&saved);
+    }
+    false
+}
+
+fn sample_from_masks(space: &ParamSpace, masks: &[Vec<bool>], rng: &mut StdRng) -> Instance {
+    let values: Vec<Value> = space
+        .ids()
+        .map(|p| {
+            let pool: Vec<usize> = (0..masks[p.index()].len())
+                .filter(|&i| masks[p.index()][i])
+                .collect();
+            assert!(!pool.is_empty(), "solver produced an empty mask");
+            space
+                .domain(p)
+                .value(pool[rng.gen_range(0..pool.len())])
+                .clone()
+        })
+        .collect();
+    Instance::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{Comparator, ParamSpace, Predicate};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("n", [1, 2, 3, 4, 5])
+            .categorical("color", ["red", "green", "blue"])
+            .ordinal("m", [1, 2, 3, 4])
+            .build()
+    }
+
+    fn example4_truth(s: &ParamSpace) -> Truth {
+        // Paper Example 4 shape: (n = 4) ∨ (m ≤ 2 ∧ color ≠ "blue").
+        let n = s.by_name("n").unwrap();
+        let m = s.by_name("m").unwrap();
+        let color = s.by_name("color").unwrap();
+        Truth::new(
+            s,
+            Dnf::new(vec![
+                Conjunction::new(vec![Predicate::eq(n, 4)]),
+                Conjunction::new(vec![
+                    Predicate::new(m, Comparator::Le, 2),
+                    Predicate::new(color, Comparator::Neq, "blue"),
+                ]),
+            ]),
+        )
+    }
+
+    #[test]
+    fn fails_matches_dnf() {
+        let s = space();
+        let t = example4_truth(&s);
+        let f = Instance::from_pairs(
+            &s,
+            [("n", 4.into()), ("color", "blue".into()), ("m", 4.into())],
+        );
+        let g = Instance::from_pairs(
+            &s,
+            [("n", 1.into()), ("color", "blue".into()), ("m", 1.into())],
+        );
+        assert!(t.fails(&f));
+        assert!(!t.fails(&g));
+    }
+
+    #[test]
+    fn definitive_test_exact() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let m = s.by_name("m").unwrap();
+        let color = s.by_name("color").unwrap();
+        let t = example4_truth(&s);
+        // The planted conjuncts are definitive.
+        assert!(t.is_definitive(&s, &Conjunction::new(vec![Predicate::eq(n, 4)])));
+        // A superset of a cause is definitive (but not minimal).
+        assert!(t.is_definitive(
+            &s,
+            &Conjunction::new(vec![Predicate::eq(n, 4), Predicate::eq(m, 1)])
+        ));
+        // A subset of the conjunction cause is NOT definitive.
+        assert!(!t.is_definitive(
+            &s,
+            &Conjunction::new(vec![Predicate::new(m, Comparator::Le, 2)])
+        ));
+        // A semantically equal rewrite IS definitive.
+        assert!(t.is_definitive(
+            &s,
+            &Conjunction::new(vec![
+                Predicate::new(n, Comparator::Gt, 3),
+                Predicate::new(n, Comparator::Le, 4)
+            ])
+        ));
+        // Unrelated causes are not definitive.
+        assert!(!t.is_definitive(&s, &Conjunction::new(vec![Predicate::eq(color, "red")])));
+    }
+
+    #[test]
+    fn matches_minimal_is_semantic() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let t = example4_truth(&s);
+        // n=4 expressed as a range matches semantically.
+        let rewrite = Conjunction::new(vec![
+            Predicate::new(n, Comparator::Gt, 3),
+            Predicate::new(n, Comparator::Le, 4),
+        ]);
+        assert!(t.matches_minimal(&s, &rewrite));
+        // A definitive superset is not minimal.
+        let m = s.by_name("m").unwrap();
+        let superset = Conjunction::new(vec![Predicate::eq(n, 4), Predicate::eq(m, 1)]);
+        assert!(!t.matches_minimal(&s, &superset));
+    }
+
+    #[test]
+    fn sample_succeeding_always_succeeds() {
+        let s = space();
+        let t = example4_truth(&s);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let inst = t.sample_succeeding(&s, &mut rng).unwrap();
+            assert!(!t.fails(&inst), "sampled {}", inst.display(&s));
+        }
+    }
+
+    #[test]
+    fn sample_failing_always_fails() {
+        let s = space();
+        let t = example4_truth(&s);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let inst = t.sample_failing(&s, &mut rng).unwrap();
+            assert!(t.fails(&inst), "sampled {}", inst.display(&s));
+        }
+    }
+
+    #[test]
+    fn sample_succeeding_none_when_all_fail() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        // n ≤ 5 covers everything.
+        let t = Truth::new(
+            &s,
+            Dnf::new(vec![Conjunction::new(vec![Predicate::new(
+                n,
+                Comparator::Le,
+                5,
+            )])]),
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(t.sample_succeeding(&s, &mut rng).is_none());
+    }
+
+    #[test]
+    fn failure_fraction_exact() {
+        let s = space();
+        let t = example4_truth(&s);
+        // Brute-force comparison over the 60-instance space.
+        let brute = s.instances().filter(|i| t.fails(i)).count() as f64
+            / s.total_configurations() as f64;
+        assert!((t.failure_fraction(&s) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_fraction_single_cause() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let t = Truth::new(
+            &s,
+            Dnf::new(vec![Conjunction::new(vec![Predicate::eq(n, 4)])]),
+        );
+        assert!((t.failure_fraction(&s) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsat_conjuncts_dropped() {
+        let s = space();
+        let n = s.by_name("n").unwrap();
+        let t = Truth::new(
+            &s,
+            Dnf::new(vec![Conjunction::new(vec![
+                Predicate::new(n, Comparator::Le, 1),
+                Predicate::new(n, Comparator::Gt, 2),
+            ])]),
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.failure_fraction(&s), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sample_instance_tests {
+    use super::*;
+    use bugdoc_core::{Comparator, ParamSpace, Predicate};
+    use rand::SeedableRng;
+
+    #[test]
+    fn satisfies_require_and_violates_avoid() {
+        let s = ParamSpace::builder()
+            .ordinal("a", [1, 2, 3, 4])
+            .ordinal("b", [1, 2, 3, 4])
+            .build();
+        let a = s.by_name("a").unwrap();
+        let b = s.by_name("b").unwrap();
+        let require = Conjunction::new(vec![Predicate::new(a, Comparator::Gt, 2)]).canonicalize(&s);
+        let avoid = vec![Conjunction::new(vec![Predicate::eq(b, 1)]).canonicalize(&s)];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let inst = sample_instance(&s, Some(&require), &avoid, &mut rng).unwrap();
+            assert!(require.satisfied_by(&inst, &s));
+            assert!(!avoid[0].satisfied_by(&inst, &s));
+        }
+    }
+
+    #[test]
+    fn infeasible_combination_returns_none() {
+        let s = ParamSpace::builder().ordinal("a", [1, 2]).build();
+        let a = s.by_name("a").unwrap();
+        let require = Conjunction::new(vec![Predicate::eq(a, 1)]).canonicalize(&s);
+        // Avoiding a≤2 is impossible.
+        let avoid = vec![Conjunction::new(vec![Predicate::new(a, Comparator::Le, 2)]).canonicalize(&s)];
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(sample_instance(&s, Some(&require), &avoid, &mut rng).is_none());
+    }
+}

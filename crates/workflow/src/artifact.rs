@@ -1,0 +1,263 @@
+//! Artifacts: the values modules pass along workflow edges.
+//!
+//! The paper's pipelines move datasets, trained models, and scores between
+//! modules ("reads a dataset, splits it into training and test subsets,
+//! creates and executes an estimator, and computes the F-measure score",
+//! §1). [`Artifact`] covers those shapes with a tiny numeric
+//! [`Frame`] standing in for tabular data.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A tiny numeric table: named feature columns plus an integer label per
+/// row — enough to carry classification datasets between modules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    columns: Vec<String>,
+    /// Feature rows (row-major; every row has `columns.len()` features).
+    rows: Vec<Vec<f64>>,
+    /// One class label per row.
+    labels: Vec<i64>,
+}
+
+impl Frame {
+    /// Creates a frame; all rows must match the column count and the label
+    /// count must match the row count.
+    pub fn new(
+        columns: Vec<String>,
+        rows: Vec<Vec<f64>>,
+        labels: Vec<i64>,
+    ) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        for row in &rows {
+            assert_eq!(row.len(), columns.len(), "row arity matches columns");
+        }
+        Frame {
+            columns,
+            rows,
+            labels,
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// A feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// A row's label.
+    pub fn label(&self, i: usize) -> i64 {
+        self.labels[i]
+    }
+
+    /// Distinct labels, ascending.
+    pub fn classes(&self) -> Vec<i64> {
+        let mut classes: Vec<i64> = self.labels.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+
+    /// A new frame containing the given row indices.
+    pub fn select(&self, indices: &[usize]) -> Frame {
+        Frame {
+            columns: self.columns.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Deterministic *stratified* k-fold split: fold `k` of `n_folds` as
+    /// `(train, test)`. Rows are striped round-robin **within each class**,
+    /// so every fold sees every class — naive `i % n_folds` striping
+    /// resonates with interleaved class layouts and can put an entire class
+    /// into one test fold.
+    pub fn fold(&self, k: usize, n_folds: usize) -> (Frame, Frame) {
+        assert!(n_folds >= 2 && k < n_folds);
+        let mut per_class_counter: std::collections::HashMap<i64, usize> =
+            std::collections::HashMap::new();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for i in 0..self.len() {
+            let counter = per_class_counter.entry(self.labels[i]).or_insert(0);
+            if *counter % n_folds == k {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+            *counter += 1;
+        }
+        (self.select(&train), self.select(&test))
+    }
+
+    /// Applies a function to every feature value, returning a new frame.
+    pub fn map_features(&self, f: impl Fn(f64) -> f64) -> Frame {
+        Frame {
+            columns: self.columns.clone(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|&x| f(x)).collect())
+                .collect(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Per-column mean and standard deviation (population).
+    pub fn column_stats(&self) -> Vec<(f64, f64)> {
+        (0..self.width())
+            .map(|c| {
+                let n = self.len().max(1) as f64;
+                let mean = self.rows.iter().map(|r| r[c]).sum::<f64>() / n;
+                let var = self.rows.iter().map(|r| (r[c] - mean).powi(2)).sum::<f64>() / n;
+                (mean, var.sqrt())
+            })
+            .collect()
+    }
+}
+
+/// A value flowing along a workflow edge.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// No payload (side-effect-only modules).
+    Empty,
+    /// A scalar (a score, a count).
+    Number(f64),
+    /// A label or message.
+    Text(String),
+    /// A dataset.
+    Frame(Arc<Frame>),
+    /// A pair of datasets (e.g. train/test).
+    FramePair(Arc<Frame>, Arc<Frame>),
+}
+
+impl Artifact {
+    /// The scalar payload, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Artifact::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The dataset payload, if this is a frame.
+    pub fn as_frame(&self) -> Option<&Arc<Frame>> {
+        match self {
+            Artifact::Frame(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The dataset pair, if present.
+    pub fn as_frame_pair(&self) -> Option<(&Arc<Frame>, &Arc<Frame>)> {
+        match self {
+            Artifact::FramePair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Artifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Artifact::Empty => write!(f, "∅"),
+            Artifact::Number(x) => write!(f, "{x}"),
+            Artifact::Text(s) => write!(f, "{s}"),
+            Artifact::Frame(frame) => write!(f, "frame[{}×{}]", frame.len(), frame.width()),
+            Artifact::FramePair(a, b) => {
+                write!(f, "frames[{}+{}]", a.len(), b.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Frame {
+        Frame::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+            ],
+            vec![0, 1, 0, 1],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let f = toy();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.row(1), &[2.0, 20.0]);
+        assert_eq!(f.label(3), 1);
+        assert_eq!(f.classes(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_arity_checked() {
+        Frame::new(vec!["x".into()], vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    fn fold_partitions_rows() {
+        let f = toy();
+        let (train, test) = f.fold(0, 2);
+        assert_eq!(train.len() + test.len(), f.len());
+        assert_eq!(test.len(), 2);
+        // Fold 0 of 2 takes even indices.
+        assert_eq!(test.row(0), &[1.0, 10.0]);
+        // All folds cover all rows exactly once.
+        let mut seen = 0;
+        for k in 0..2 {
+            seen += f.fold(k, 2).1.len();
+        }
+        assert_eq!(seen, f.len());
+    }
+
+    #[test]
+    fn map_and_stats() {
+        let f = toy().map_features(|x| x * 2.0);
+        assert_eq!(f.row(0), &[2.0, 20.0]);
+        let stats = toy().column_stats();
+        assert!((stats[0].0 - 2.5).abs() < 1e-12);
+        assert!(stats[0].1 > 0.0);
+    }
+
+    #[test]
+    fn artifact_accessors_and_display() {
+        assert_eq!(Artifact::Number(0.5).as_number(), Some(0.5));
+        assert!(Artifact::Empty.as_number().is_none());
+        let frame = Arc::new(toy());
+        let a = Artifact::Frame(frame.clone());
+        assert_eq!(a.as_frame().unwrap().len(), 4);
+        assert_eq!(a.to_string(), "frame[4×2]");
+        let pair = Artifact::FramePair(frame.clone(), frame);
+        assert!(pair.as_frame_pair().is_some());
+        assert_eq!(Artifact::Empty.to_string(), "∅");
+    }
+}

@@ -1,0 +1,24 @@
+//! # bugdoc-workflow
+//!
+//! The dynamic pipeline-execution layer of the BugDoc reproduction: a
+//! dataflow engine for DAGs of parameterized modules with swappable
+//! implementations (paper §3, Def. 1 — manipulable parameters include
+//! "hyperparameters, input data, versions of programs, computational
+//! modules"), compiled into debuggable [`bugdoc_engine::Pipeline`]s.
+//!
+//! The [`ml`] module grounds it: a working miniature ML substrate (blob
+//! datasets, centroid / k-NN / boosted-stump classifiers, k-fold CV) whose
+//! [`ml::figure1_workflow`] reproduces the paper's Figure-1 pipeline with
+//! failures that *emerge from real computation* rather than planted lookup
+//! tables.
+
+#![warn(missing_docs)]
+
+mod artifact;
+mod graph;
+pub mod ml;
+
+pub use artifact::{Artifact, Frame};
+pub use graph::{
+    Implementation, ModuleCtx, ModuleError, ModuleId, ParamDecl, WorkflowBuilder, WorkflowPipeline,
+};

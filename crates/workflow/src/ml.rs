@@ -1,0 +1,543 @@
+//! A real miniature machine-learning substrate and the Figure-1 workflow
+//! built on it.
+//!
+//! Unlike `bugdoc-pipelines`' response-surface simulators, everything here
+//! *actually computes*: synthetic Gaussian-blob datasets, three working
+//! classifiers, k-fold cross-validation — wired into a
+//! [`WorkflowPipeline`](crate::WorkflowPipeline) whose failures *emerge*
+//! from the computation:
+//!
+//! * **library version 2.0** carries an axis-confusion regression in the
+//!   normalize module (it z-scores per *row* instead of per column, so the
+//!   class offset — constant within a row — cancels out entirely) — every
+//!   estimator drops to chance accuracy;
+//! * the **boosted-stumps estimator** is a binary-only algorithm whose
+//!   one-vs-rest reduction degenerates on multi-class data — it fails on
+//!   the 3-class and 10-class datasets but works on the binary one,
+//!   reproducing the intro's gradient-boosting observation.
+
+use crate::artifact::{Artifact, Frame};
+use crate::graph::{Implementation, ModuleCtx, ModuleError, ParamDecl, WorkflowBuilder, WorkflowPipeline};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The workflow's evaluation threshold: succeed iff CV accuracy ≥ 0.7
+/// (above the 2/3 ceiling of a degenerate binary reduction on 3 classes).
+pub const ACCURACY_THRESHOLD: f64 = 0.7;
+
+/// Deterministic Gaussian sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates `classes × per_class` rows of `width` features: class `c`'s
+/// blob is centred at `c * separation` on every feature, with the given
+/// noise std. Deterministic per seed.
+pub fn blobs(
+    classes: usize,
+    per_class: usize,
+    width: usize,
+    separation: f64,
+    noise: f64,
+    seed: u64,
+) -> Frame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(classes * per_class);
+    let mut labels = Vec::with_capacity(classes * per_class);
+    // Interleave classes so deterministic k-fold striping stays balanced.
+    for i in 0..per_class {
+        for c in 0..classes {
+            let _ = i;
+            let row: Vec<f64> = (0..width)
+                .map(|_| c as f64 * separation + noise * gaussian(&mut rng))
+                .collect();
+            rows.push(row);
+            labels.push(c as i64);
+        }
+    }
+    Frame::new(
+        (0..width).map(|f| format!("f{f}")).collect(),
+        rows,
+        labels,
+    )
+}
+
+/// The benchmark datasets of Figure 1, as real data.
+pub fn load_dataset(name: &str) -> Frame {
+    match name {
+        // 3 well-separated classes — the "Iris" role.
+        "iris" => blobs(3, 30, 4, 4.0, 1.0, 0xA11CE),
+        // 10 classes, wider feature space — the "Digits" role.
+        "digits" => blobs(10, 15, 16, 4.0, 1.0, 0xD161),
+        // 2 noisier classes — the "Images" role (binary).
+        "images" => blobs(2, 60, 8, 4.0, 2.0, 0x1A6E),
+        other => panic!("unknown dataset {other:?}"),
+    }
+}
+
+/// A trained classifier.
+pub trait Classifier {
+    /// Predicts the class of one feature row.
+    fn predict(&self, row: &[f64]) -> i64;
+}
+
+/// Nearest-class-centroid classifier (the "logistic regression" role: a
+/// linear-boundary method that is strong on blob data).
+pub struct Centroid {
+    centroids: Vec<(i64, Vec<f64>)>,
+}
+
+impl Centroid {
+    /// Fits per-class feature means.
+    pub fn fit(train: &Frame) -> Self {
+        let mut centroids = Vec::new();
+        for class in train.classes() {
+            let members: Vec<usize> = (0..train.len())
+                .filter(|&i| train.label(i) == class)
+                .collect();
+            let mut mean = vec![0.0; train.width()];
+            for &i in &members {
+                for (m, x) in mean.iter_mut().zip(train.row(i)) {
+                    *m += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= members.len().max(1) as f64;
+            }
+            centroids.push((class, mean));
+        }
+        Centroid { centroids }
+    }
+}
+
+impl Classifier for Centroid {
+    fn predict(&self, row: &[f64]) -> i64 {
+        self.centroids
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                dist2(row, a)
+                    .partial_cmp(&dist2(row, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(c, _)| *c)
+            .expect("fitted on non-empty data")
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-nearest-neighbours (the "decision tree" role: a flexible non-linear
+/// method, robust across the benchmark datasets).
+pub struct Knn {
+    k: usize,
+    train: Arc<Frame>,
+}
+
+impl Knn {
+    /// Stores the training data.
+    pub fn fit(train: Arc<Frame>, k: usize) -> Self {
+        Knn { k: k.max(1), train }
+    }
+}
+
+impl Classifier for Knn {
+    fn predict(&self, row: &[f64]) -> i64 {
+        let mut scored: Vec<(f64, i64)> = (0..self.train.len())
+            .map(|i| (dist2(row, self.train.row(i)), self.train.label(i)))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        for (_, label) in scored.iter().take(self.k) {
+            *votes.entry(*label).or_insert(0) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(label, n)| (n, std::cmp::Reverse(label)))
+            .map(|(label, _)| label)
+            .expect("k >= 1")
+    }
+}
+
+/// A decision stump on one feature.
+struct Stump {
+    feature: usize,
+    threshold: f64,
+    polarity: f64,
+}
+
+impl Stump {
+    fn raw(&self, row: &[f64]) -> f64 {
+        if row[self.feature] > self.threshold {
+            self.polarity
+        } else {
+            -self.polarity
+        }
+    }
+}
+
+/// Boosted decision stumps (the "gradient boosting" role). **Binary-only**:
+/// the one-vs-rest reduction used for multi-class inputs degenerates to a
+/// majority-vs-rest split and predicts almost everything into one side — a
+/// genuine algorithmic limitation that reproduces the paper's Figure-1
+/// observation (gradient boosting low on Iris/Digits, high on Images).
+pub struct BoostedStumps {
+    stumps: Vec<(f64, Stump)>,
+    /// Class encoded as +1.
+    positive: i64,
+    /// Class predicted on the −1 side.
+    negative: i64,
+}
+
+impl BoostedStumps {
+    /// AdaBoost with `rounds` stumps over the (reduced-to-binary) labels.
+    pub fn fit(train: &Frame, rounds: usize) -> Self {
+        let classes = train.classes();
+        // The broken multi-class reduction: first class vs everything else.
+        let positive = classes[0];
+        let negative = *classes.last().expect("non-empty");
+        let y: Vec<f64> = (0..train.len())
+            .map(|i| if train.label(i) == positive { 1.0 } else { -1.0 })
+            .collect();
+
+        let n = train.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut stumps = Vec::new();
+        for _ in 0..rounds {
+            // Best stump under current weights.
+            let mut best: Option<(f64, Stump)> = None;
+            for feature in 0..train.width() {
+                let mut values: Vec<f64> = (0..n).map(|i| train.row(i)[feature]).collect();
+                values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                values.dedup();
+                for w in values.windows(2) {
+                    let threshold = (w[0] + w[1]) / 2.0;
+                    for polarity in [1.0, -1.0] {
+                        let stump = Stump {
+                            feature,
+                            threshold,
+                            polarity,
+                        };
+                        let err: f64 = (0..n)
+                            .filter(|&i| stump.raw(train.row(i)) != y[i])
+                            .map(|i| weights[i])
+                            .sum();
+                        if best
+                            .as_ref()
+                            .map(|(e, _)| err < *e)
+                            .unwrap_or(true)
+                        {
+                            best = Some((err, stump));
+                        }
+                    }
+                }
+            }
+            let Some((err, stump)) = best else { break };
+            let err = err.clamp(1e-9, 1.0 - 1e-9);
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            for i in 0..n {
+                let margin = y[i] * stump.raw(train.row(i));
+                weights[i] *= (-alpha * margin).exp();
+            }
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            stumps.push((alpha, stump));
+            if err < 1e-6 {
+                break;
+            }
+        }
+        BoostedStumps {
+            stumps,
+            positive,
+            negative,
+        }
+    }
+}
+
+impl Classifier for BoostedStumps {
+    fn predict(&self, row: &[f64]) -> i64 {
+        let score: f64 = self.stumps.iter().map(|(a, s)| a * s.raw(row)).sum();
+        if score >= 0.0 {
+            self.positive
+        } else {
+            self.negative
+        }
+    }
+}
+
+/// Mean accuracy of `fit` over deterministic `n_folds`-fold CV.
+pub fn cross_validate(
+    data: &Arc<Frame>,
+    n_folds: usize,
+    fit: impl Fn(Arc<Frame>) -> Box<dyn Classifier>,
+) -> f64 {
+    let mut total = 0.0;
+    for k in 0..n_folds {
+        let (train, test) = data.fold(k, n_folds);
+        let model = fit(Arc::new(train));
+        let correct = (0..test.len())
+            .filter(|&i| model.predict(test.row(i)) == test.label(i))
+            .count();
+        total += correct as f64 / test.len().max(1) as f64;
+    }
+    total / n_folds as f64
+}
+
+/// Builds the Figure-1 pipeline as a *real* workflow DAG:
+///
+/// ```text
+/// load(dataset) ──▶ normalize(library_version) ──▶ estimator{centroid|knn|boosted} ──▶ accuracy
+/// ```
+///
+/// The evaluation succeeds iff the 5-fold CV accuracy is ≥ 0.6 (Example 1's
+/// threshold). Both root causes *emerge from the computation*:
+/// `library_version = 2` (the axis-confusion regression) and
+/// `estimator.impl = boosted_stumps ∧ dataset ≠ images` (binary-only
+/// boosting on multi-class data).
+pub fn figure1_workflow() -> WorkflowPipeline {
+    let mut wf = WorkflowBuilder::new("figure1-ml (real computation)");
+
+    let load = wf.module(
+        "load",
+        &[],
+        vec![ParamDecl::categorical(
+            "dataset",
+            ["iris", "digits", "images"],
+        )],
+        |ctx: &ModuleCtx| {
+            let name = ctx.param("dataset").to_string();
+            Ok(Artifact::Frame(Arc::new(load_dataset(&name))))
+        },
+    );
+
+    let normalize = wf.module(
+        "normalize",
+        &[load],
+        vec![ParamDecl::ordinal("library_version", [1, 2])],
+        |ctx: &ModuleCtx| {
+            let frame = ctx
+                .input(0)
+                .as_frame()
+                .ok_or_else(|| ModuleError::new("normalize expects a frame"))?;
+            let version = ctx.param_f64("library_version");
+            let normalized = if version < 2.0 {
+                // v1.0: per-column z-score.
+                let stats = frame.column_stats();
+                let cols = stats.clone();
+                let mut rows = Vec::with_capacity(frame.len());
+                for i in 0..frame.len() {
+                    rows.push(
+                        frame
+                            .row(i)
+                            .iter()
+                            .enumerate()
+                            .map(|(c, &x)| {
+                                let (mean, std) = cols[c];
+                                (x - mean) / if std > 1e-9 { std } else { 1.0 }
+                            })
+                            .collect::<Vec<f64>>(),
+                    );
+                }
+                Frame::new(
+                    frame.columns().to_vec(),
+                    rows,
+                    (0..frame.len()).map(|i| frame.label(i)).collect(),
+                )
+            } else {
+                // v2.0 regression: the classic axis confusion — z-scoring
+                // per ROW instead of per column. The class offset is
+                // constant within a row, so it cancels and only noise
+                // survives: every downstream estimator sees pure noise.
+                let mut rows = Vec::with_capacity(frame.len());
+                for i in 0..frame.len() {
+                    let row = frame.row(i);
+                    let n = row.len().max(1) as f64;
+                    let mean = row.iter().sum::<f64>() / n;
+                    let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                    let std = var.sqrt().max(1e-9);
+                    rows.push(row.iter().map(|x| (x - mean) / std).collect::<Vec<f64>>());
+                }
+                Frame::new(
+                    frame.columns().to_vec(),
+                    rows,
+                    (0..frame.len()).map(|i| frame.label(i)).collect(),
+                )
+            };
+            Ok(Artifact::Frame(Arc::new(normalized)))
+        },
+    );
+
+    let estimator = wf.choice_module(
+        "estimator",
+        &[normalize],
+        vec![],
+        vec![
+            Implementation::new("centroid", |ctx: &ModuleCtx| {
+                let data = expect_frame(ctx)?;
+                Ok(Artifact::Number(cross_validate(&data, 5, |train| {
+                    Box::new(Centroid::fit(&train))
+                })))
+            }),
+            Implementation::new("knn", |ctx: &ModuleCtx| {
+                let data = expect_frame(ctx)?;
+                Ok(Artifact::Number(cross_validate(&data, 5, |train| {
+                    Box::new(Knn::fit(train, 3))
+                })))
+            }),
+            Implementation::new("boosted_stumps", |ctx: &ModuleCtx| {
+                let data = expect_frame(ctx)?;
+                Ok(Artifact::Number(cross_validate(&data, 5, |train| {
+                    Box::new(BoostedStumps::fit(&train, 8))
+                })))
+            }),
+        ],
+    );
+
+    wf.build(estimator, |accuracy| accuracy >= ACCURACY_THRESHOLD)
+}
+
+fn expect_frame(ctx: &ModuleCtx) -> Result<Arc<Frame>, ModuleError> {
+    ctx.input(0)
+        .as_frame()
+        .cloned()
+        .ok_or_else(|| ModuleError::new("estimator expects a frame"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::Instance;
+    use bugdoc_engine::Pipeline;
+
+    fn run(wf: &WorkflowPipeline, dataset: &str, version: i64, estimator: &str) -> (bool, f64) {
+        let inst = Instance::from_pairs(
+            wf.space(),
+            [
+                ("dataset", dataset.into()),
+                ("library_version", version.into()),
+                ("estimator.impl", estimator.into()),
+            ],
+        );
+        let eval = wf.execute(&inst).unwrap();
+        (eval.outcome.is_succeed(), eval.score.unwrap_or(f64::NAN))
+    }
+
+    #[test]
+    fn datasets_have_expected_shapes() {
+        assert_eq!(load_dataset("iris").classes().len(), 3);
+        assert_eq!(load_dataset("digits").classes().len(), 10);
+        assert_eq!(load_dataset("images").classes().len(), 2);
+        assert_eq!(load_dataset("iris").len(), 90);
+    }
+
+    #[test]
+    fn blobs_are_deterministic() {
+        let a = blobs(2, 5, 3, 4.0, 1.0, 7);
+        let b = blobs(2, 5, 3, 4.0, 1.0, 7);
+        assert_eq!(a, b);
+        let c = blobs(2, 5, 3, 4.0, 1.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn v1_healthy_estimators_pass_everywhere() {
+        let wf = figure1_workflow();
+        for dataset in ["iris", "digits", "images"] {
+            for est in ["centroid", "knn"] {
+                let (ok, acc) = run(&wf, dataset, 1, est);
+                assert!(ok, "{est} on {dataset} scored {acc}");
+                assert!(acc > 0.8, "{est} on {dataset} scored only {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn boosting_is_binary_only() {
+        let wf = figure1_workflow();
+        // High on the binary dataset...
+        let (ok, acc) = run(&wf, "images", 1, "boosted_stumps");
+        assert!(ok, "boosting on images scored {acc}");
+        // ...at chance-ish on the multi-class ones (the Figure-1 story).
+        for dataset in ["iris", "digits"] {
+            let (ok, acc) = run(&wf, dataset, 1, "boosted_stumps");
+            assert!(!ok, "boosting on {dataset} unexpectedly scored {acc}");
+        }
+    }
+
+    #[test]
+    fn v2_regression_breaks_everything() {
+        let wf = figure1_workflow();
+        for dataset in ["iris", "digits", "images"] {
+            for est in ["centroid", "knn", "boosted_stumps"] {
+                let (ok, acc) = run(&wf, dataset, 2, est);
+                assert!(!ok, "{est} on {dataset} v2 scored {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let wf = figure1_workflow();
+        let a = run(&wf, "digits", 1, "knn");
+        let b = run(&wf, "digits", 1, "knn");
+        assert_eq!(a, b);
+    }
+
+    /// The full circle: BugDoc debugging the *real* workflow discovers both
+    /// emergent causes.
+    #[test]
+    fn bugdoc_finds_emergent_causes() {
+        use bugdoc_algorithms::{diagnose, BugDocConfig};
+        use bugdoc_engine::{Executor, ExecutorConfig};
+
+        let wf = Arc::new(figure1_workflow());
+        let space = wf.space().clone();
+        let exec = Executor::new(
+            wf.clone() as Arc<dyn Pipeline>,
+            ExecutorConfig::default(),
+        );
+        // The provenance of Figure 1: a handful of runs across the space.
+        for (d, v, e) in [
+            ("iris", 1, "centroid"),
+            ("digits", 1, "knn"),
+            ("iris", 2, "boosted_stumps"),
+            ("digits", 1, "boosted_stumps"),
+            ("images", 1, "boosted_stumps"),
+        ] {
+            let inst = Instance::from_pairs(
+                &space,
+                [
+                    ("dataset", d.into()),
+                    ("library_version", v.into()),
+                    ("estimator.impl", e.into()),
+                ],
+            );
+            exec.evaluate(&inst).unwrap();
+        }
+
+        let diagnosis = diagnose(&exec, &BugDocConfig::default()).unwrap();
+        let rendered: Vec<String> = diagnosis
+            .causes
+            .conjuncts()
+            .iter()
+            .map(|c| c.display(&space).to_string())
+            .collect();
+        // Version cause.
+        assert!(
+            rendered.iter().any(|c| c.contains("library_version = 2")),
+            "missing version cause: {rendered:?}"
+        );
+        // Boosting-on-multiclass cause.
+        assert!(
+            rendered.iter().any(|c| c.contains("boosted_stumps")
+                && (c.contains("dataset ≠ images") || c.contains("dataset ="))),
+            "missing boosting cause: {rendered:?}"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Integration tests reproducing the paper's worked examples end-to-end,
+//! across crates: core model + engine + algorithms + pipelines.
+
+use bugdoc::pipelines::{
+    DataPolygamyPipeline, EnterpriseAnalyticsPipeline, GanPipeline, MlPipeline, SupernovaPipeline,
+};
+use bugdoc::prelude::*;
+use std::sync::Arc;
+
+/// Paper §4.1, Example 1: the full Shortcut walk over the Figure-1 pipeline
+/// reproduces Table 2 and asserts Library Version = 2.
+#[test]
+fn example1_shortcut_full_walk() {
+    let pipeline = Arc::new(MlPipeline::new());
+    let space = pipeline.space().clone();
+    let exec = Executor::with_provenance(
+        pipeline.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig::default(),
+        pipeline.table1_history(),
+    );
+    let cp_f = pipeline.instance("Iris", "Gradient Boosting", 2.0);
+    let cp_g = pipeline.instance("Digits", "Decision Tree", 1.0);
+
+    let report = shortcut(&exec, &cp_f, &cp_g, &ShortcutConfig::default()).unwrap();
+    let cause = report.cause.expect("Example 1 asserts a cause");
+    let v = space.by_name("Library Version").unwrap();
+    assert_eq!(
+        cause.canonicalize(&space),
+        Conjunction::new(vec![Predicate::new(v, Comparator::Eq, 2.0)]).canonicalize(&space)
+    );
+
+    // Table 2's new rows, with the paper's scores.
+    let prov = exec.provenance();
+    let expect = [
+        ("Digits", "Gradient Boosting", 2.0, 0.2, Outcome::Fail),
+        ("Digits", "Decision Tree", 2.0, 0.3, Outcome::Fail),
+        ("Digits", "Decision Tree", 1.0, 0.8, Outcome::Succeed),
+    ];
+    for (d, e, ver, score, outcome) in expect {
+        let inst = pipeline.instance(d, e, ver);
+        let eval = prov.lookup(&inst).expect("instance in Table 2");
+        assert_eq!(eval.outcome, outcome);
+        assert_eq!(eval.score, Some(score));
+    }
+}
+
+/// The combined driver on the Figure-1 pipeline finds *both* planted causes
+/// once the provenance includes Figure 1's gradient-boosting run.
+#[test]
+fn figure1_combined_diagnosis_finds_both_causes() {
+    let pipeline = Arc::new(MlPipeline::new());
+    let space = pipeline.space().clone();
+    let exec = Executor::with_provenance(
+        pipeline.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig::default(),
+        pipeline.table1_history(),
+    );
+    exec.evaluate(&pipeline.instance("Digits", "Gradient Boosting", 1.0))
+        .unwrap();
+
+    let diagnosis = diagnose(&exec, &BugDocConfig::default()).unwrap();
+    let truth = pipeline.truth();
+    let exact = diagnosis
+        .causes
+        .conjuncts()
+        .iter()
+        .filter(|c| truth.matches_minimal(&space, c))
+        .count();
+    assert_eq!(
+        exact,
+        2,
+        "expected both causes; got {}",
+        diagnosis.causes.display(&space)
+    );
+}
+
+/// The intro's enterprise-analytics anecdote: the data-feed change is found.
+#[test]
+fn intro_enterprise_analytics_diagnosis() {
+    let pipeline = Arc::new(EnterpriseAnalyticsPipeline::new());
+    let space = pipeline.space().clone();
+    let truth = pipeline.truth().clone();
+    let exec = Executor::new(
+        pipeline.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig::default(),
+    );
+    // One bad production run plus one good historical run.
+    let bad = Instance::from_pairs(
+        &space,
+        [
+            ("data_provider", "acme_feed".into()),
+            ("feed_resolution", "weekly".into()),
+            ("forecast_model", "prophet".into()),
+            ("feature_window_months", 12.into()),
+            ("seasonality", "additive".into()),
+        ],
+    );
+    let good = Instance::from_pairs(
+        &space,
+        [
+            ("data_provider", "internal".into()),
+            ("feed_resolution", "monthly".into()),
+            ("forecast_model", "arima".into()),
+            ("feature_window_months", 6.into()),
+            ("seasonality", "none".into()),
+        ],
+    );
+    exec.evaluate(&bad).unwrap();
+    exec.evaluate(&good).unwrap();
+
+    let diagnosis = diagnose(&exec, &BugDocConfig::default()).unwrap();
+    assert!(
+        diagnosis
+            .causes
+            .conjuncts()
+            .iter()
+            .any(|c| truth.matches_minimal(&space, c)),
+        "got {}",
+        diagnosis.causes.display(&space)
+    );
+}
+
+/// The intro's supernova anecdote: the version regression is found even
+/// without a disjoint good run (most-different heuristic).
+#[test]
+fn intro_supernova_version_bug() {
+    let pipeline = Arc::new(SupernovaPipeline::new());
+    let space = pipeline.space().clone();
+    let truth = pipeline.truth().clone();
+    let exec = Executor::new(
+        pipeline.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig::default(),
+    );
+    let bad = Instance::from_pairs(
+        &space,
+        [
+            ("telescope_site", "cerro_tololo".into()),
+            ("processing_version", 40.into()),
+            ("calibration", "extended".into()),
+            ("detector_band", "i".into()),
+            ("coadd_depth", 5.into()),
+        ],
+    );
+    // Shares the site and depth with the bad run: not disjoint.
+    let good = Instance::from_pairs(
+        &space,
+        [
+            ("telescope_site", "cerro_tololo".into()),
+            ("processing_version", 32.into()),
+            ("calibration", "standard".into()),
+            ("detector_band", "r".into()),
+            ("coadd_depth", 5.into()),
+        ],
+    );
+    exec.evaluate(&bad).unwrap();
+    exec.evaluate(&good).unwrap();
+
+    let diagnosis = diagnose(&exec, &BugDocConfig::default()).unwrap();
+    assert!(
+        diagnosis
+            .causes
+            .conjuncts()
+            .iter()
+            .any(|c| truth.matches_minimal(&space, c)),
+        "got {}",
+        diagnosis.causes.display(&space)
+    );
+}
+
+/// Data Polygamy: all three planted crash conditions are recoverable.
+#[test]
+fn data_polygamy_three_crash_causes() {
+    let pipeline = Arc::new(DataPolygamyPipeline::new());
+    let space = pipeline.space().clone();
+    let truth = pipeline.truth().clone();
+    let exec = Executor::new(
+        pipeline.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig::default(),
+    );
+    // Seed one failing run per crash condition plus several good runs.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    for k in 0..truth.len() {
+        let inst = truth.sample_failing_cause(&space, k, &mut rng).unwrap();
+        exec.evaluate(&inst).unwrap();
+    }
+    for _ in 0..8 {
+        let inst = truth.sample_succeeding(&space, &mut rng).unwrap();
+        exec.evaluate(&inst).unwrap();
+    }
+
+    let diagnosis = diagnose(
+        &exec,
+        &BugDocConfig {
+            ddt: DdtConfig {
+                mode: DdtMode::FindAll,
+                verification_samples: 12,
+                seed: 5,
+                ..DdtConfig::default()
+            },
+            ..BugDocConfig::default()
+        },
+    )
+    .unwrap();
+    let exact = diagnosis
+        .causes
+        .conjuncts()
+        .iter()
+        .filter(|c| truth.matches_minimal(&space, c))
+        .count();
+    assert!(
+        exact >= 2,
+        "expected most crash causes; got {}",
+        diagnosis.causes.display(&space)
+    );
+}
+
+/// GAN training: both mode-collapse regimes are recoverable and every
+/// asserted cause is genuinely definitive.
+#[test]
+fn gan_mode_collapse_causes_are_definitive() {
+    let pipeline = Arc::new(GanPipeline::new());
+    let space = pipeline.space().clone();
+    let truth = pipeline.truth().clone();
+    let exec = Executor::new(
+        pipeline.clone() as Arc<dyn Pipeline>,
+        ExecutorConfig::default(),
+    );
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    for k in 0..truth.len() {
+        for _ in 0..2 {
+            let inst = truth.sample_failing_cause(&space, k, &mut rng).unwrap();
+            let _ = exec.evaluate(&inst);
+        }
+    }
+    for _ in 0..8 {
+        let inst = truth.sample_succeeding(&space, &mut rng).unwrap();
+        let _ = exec.evaluate(&inst);
+    }
+    let diagnosis = diagnose(&exec, &BugDocConfig::default()).unwrap();
+    assert!(!diagnosis.causes.is_empty());
+    for cause in diagnosis.causes.conjuncts() {
+        assert!(
+            truth.is_definitive(&space, cause),
+            "non-definitive assertion {}",
+            cause.display(&space)
+        );
+    }
+}
