@@ -22,9 +22,7 @@
 //! simplifies the disjunction with Quine–McCluskey (§4).
 
 use crate::error::AlgoError;
-use bugdoc_core::{
-    CanonicalCause, Conjunction, Dnf, Instance, Outcome, ParamSpace, Value,
-};
+use bugdoc_core::{CanonicalCause, Conjunction, Dnf, Instance, Outcome, ParamSpace};
 use bugdoc_dtree::{DecisionTree, TreeConfig};
 use bugdoc_engine::{ExecError, Executor};
 use rand::rngs::StdRng;
@@ -242,7 +240,7 @@ pub fn debugging_decision_trees(
                 .map(|_| random_instance(&space, &mut rng))
                 .collect();
             let before_fails =
-                exec.with_provenance_ref(|prov| prov.failing().count());
+                exec.with_provenance_ref(|prov| prov.num_failing());
             let results = exec.evaluate_batch(&probes);
             if results
                 .iter()
@@ -251,7 +249,7 @@ pub fn debugging_decision_trees(
                 complete = false;
                 break;
             }
-            let after_fails = exec.with_provenance_ref(|prov| prov.failing().count());
+            let after_fails = exec.with_provenance_ref(|prov| prov.num_failing());
             if after_fails > before_fails {
                 continue 'outer; // new failure: rebuild the tree
             }
@@ -290,17 +288,22 @@ fn ensure_both_outcomes(exec: &Executor, space: &ParamSpace, probes: usize, rng:
 }
 
 fn random_instance(space: &ParamSpace, rng: &mut StdRng) -> Instance {
-    let values: Vec<Value> = space
+    let indices: Vec<u32> = space
         .ids()
-        .map(|p| {
-            let domain = space.domain(p);
-            domain.value(rng.gen_range(0..domain.len())).clone()
-        })
+        .map(|p| rng.gen_range(0..space.domain(p).len()) as u32)
         .collect();
-    Instance::new(values)
+    space.instance_from_indices(&indices)
 }
 
 /// Samples `n` instances from the Cartesian product filtered by `suspect`.
+///
+/// Works entirely in dense domain indices: per-parameter pools of satisfying
+/// indices are drawn from, deduplicated by index key, and materialized once
+/// via [`ParamSpace::instance_from_indices`] — no `Value` vectors are built
+/// and re-validated per draw. When the filtered product is small (or
+/// rejection sampling stalls on a small remainder), the product is
+/// **enumerated deterministically** instead, so a suspect whose region holds
+/// fewer than `n` distinct instances always yields all of them.
 fn sample_satisfying(
     space: &ParamSpace,
     suspect: &Conjunction,
@@ -312,40 +315,123 @@ fn sample_satisfying(
     if canon.is_unsatisfiable() {
         return Vec::new();
     }
-    // Per-parameter pools of satisfying domain indices.
-    let pools: Vec<Vec<usize>> = space
+    // Per-parameter pools of satisfying domain indices. Under FixedPrototype,
+    // constrained parameters are pinned to their first satisfying value.
+    let pools: Vec<Vec<u32>> = space
         .ids()
         .map(|p| match canon.mask(p) {
-            Some(mask) => (0..mask.len()).filter(|&i| mask[i]).collect(),
-            None => (0..space.domain(p).len()).collect(),
+            Some(mask) => {
+                let satisfying = (0..mask.len()).filter(|&i| mask[i]).map(|i| i as u32);
+                match strategy {
+                    PrototypeStrategy::FixedPrototype => satisfying.take(1).collect(),
+                    PrototypeStrategy::RandomSatisfying => satisfying.collect(),
+                }
+            }
+            None => (0..space.domain(p).len() as u32).collect(),
         })
         .collect();
+    let product: u128 = pools
+        .iter()
+        .map(|pool| pool.len() as u128)
+        .try_fold(1u128, u128::checked_mul)
+        .unwrap_or(u128::MAX);
+
+    // Small region: enumerate it exactly (shuffled for unbiased truncation).
+    if product <= n as u128 {
+        use rand::seq::SliceRandom as _;
+        let mut all: Vec<Instance> = PoolCombos::new(&pools)
+            .map(|indices| space.instance_from_indices(&indices))
+            .collect();
+        all.shuffle(rng);
+        all.truncate(n);
+        return all;
+    }
+
     let mut out = Vec::with_capacity(n);
-    let mut seen = std::collections::HashSet::new();
-    // Cap the attempts: small filtered products may hold fewer than n
-    // distinct instances.
+    let mut seen: std::collections::HashSet<Vec<u32>, bugdoc_core::FxBuildHasher> =
+        std::collections::HashSet::default();
+    // Rejection sampling with an attempt cap; duplicates are detected on the
+    // index key, so no instance is materialized twice.
     for _ in 0..(n * 4) {
         if out.len() == n {
             break;
         }
-        let values: Vec<Value> = space
-            .ids()
-            .zip(pools.iter())
-            .map(|(p, pool)| {
-                let constrained = canon.mask(p).is_some();
-                let idx = match (strategy, constrained) {
-                    (PrototypeStrategy::FixedPrototype, true) => pool[0],
-                    _ => pool[rng.gen_range(0..pool.len())],
-                };
-                space.domain(p).value(idx).clone()
-            })
+        let indices: Vec<u32> = pools
+            .iter()
+            .map(|pool| pool[rng.gen_range(0..pool.len())])
             .collect();
-        let inst = Instance::new(values);
-        if seen.insert(inst.clone()) {
-            out.push(inst);
+        if !seen.contains(&indices) {
+            out.push(space.instance_from_indices(&indices));
+            seen.insert(indices);
+        }
+    }
+    // The cap can starve on moderately small products (most draws collide);
+    // top up by deterministic enumeration rather than giving up short. The
+    // enumeration is lazy: it stops as soon as `n` is reached, materializing
+    // an `Instance` only for combinations not already drawn.
+    const ENUMERABLE: u128 = 4096;
+    if out.len() < n && product <= ENUMERABLE {
+        for indices in PoolCombos::new(&pools) {
+            if out.len() == n {
+                break;
+            }
+            if !seen.contains(&indices) {
+                out.push(space.instance_from_indices(&indices));
+            }
         }
     }
     out
+}
+
+/// Lazily yields every combination of the per-parameter index pools as a
+/// dense index vector, in lexicographic pool order.
+struct PoolCombos<'a> {
+    pools: &'a [Vec<u32>],
+    cursor: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> PoolCombos<'a> {
+    fn new(pools: &'a [Vec<u32>]) -> Self {
+        PoolCombos {
+            pools,
+            cursor: vec![0; pools.len()],
+            done: pools.iter().any(Vec::is_empty),
+        }
+    }
+}
+
+impl Iterator for PoolCombos<'_> {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        if self.done {
+            return None;
+        }
+        let indices: Vec<u32> = self
+            .cursor
+            .iter()
+            .zip(self.pools)
+            .map(|(&c, pool)| pool[c])
+            .collect();
+        // Advance the mixed-radix counter over pool positions.
+        let mut carry = true;
+        for (c, pool) in self.cursor.iter_mut().zip(self.pools).rev() {
+            if !carry {
+                break;
+            }
+            *c += 1;
+            if *c == pool.len() {
+                *c = 0;
+            } else {
+                carry = false;
+            }
+        }
+        if carry {
+            self.done = true;
+        }
+        Some(indices)
+    }
 }
 
 fn verify_suspect(
@@ -510,7 +596,7 @@ fn minimize_cause(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bugdoc_core::{Comparator, EvalResult, ParamSpace, Predicate};
+    use bugdoc_core::{Comparator, EvalResult, ParamSpace, Predicate, Value};
     use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, Pipeline};
     use std::sync::Arc;
 
@@ -800,7 +886,7 @@ mod tests {
 #[cfg(test)]
 mod generalize_tests {
     use super::*;
-    use bugdoc_core::{Comparator, EvalResult, ParamSpace, Predicate};
+    use bugdoc_core::{Comparator, EvalResult, ParamSpace, Predicate, Value};
     use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, Pipeline};
     use std::sync::Arc;
 

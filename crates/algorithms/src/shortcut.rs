@@ -95,7 +95,9 @@ pub fn shortcut(
     let mut current = cp_f.clone();
     let mut complete = true;
     for &p in &order {
-        let replaced = current.with(p, cp_g.get(p).clone());
+        // `with_from` keeps the dense encoding alive across the walk, so
+        // every probe below is a dense-key cache lookup in the executor.
+        let replaced = current.with_from(p, cp_g);
         match exec.evaluate(&replaced) {
             Ok(Outcome::Fail) => current = replaced,
             Ok(Outcome::Succeed) => {} // p's value in CP_f matters: keep it.
@@ -181,7 +183,7 @@ pub fn shortcut_speculative(
         let mut chain: Vec<Instance> = Vec::with_capacity(upper - next);
         let mut state = current.clone();
         for &p in &order[next..upper] {
-            state = state.with(p, cp_g.get(p).clone());
+            state = state.with_from(p, cp_g);
             chain.push(state.clone());
         }
         let results = exec.evaluate_batch(&chain);

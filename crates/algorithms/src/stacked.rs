@@ -16,7 +16,7 @@
 
 use crate::error::AlgoError;
 use crate::shortcut::{shortcut, ShortcutConfig};
-use bugdoc_core::{Conjunction, Instance, Outcome, ParamSpace, Value};
+use bugdoc_core::{Conjunction, Instance, Outcome, ParamSpace};
 use bugdoc_engine::{ExecError, Executor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -166,33 +166,37 @@ fn sample_disjoint(
     picked: &[Instance],
     rng: &mut StdRng,
 ) -> Option<Instance> {
-    let mut values: Vec<Value> = Vec::with_capacity(space.len());
+    let mut indices: Vec<u32> = Vec::with_capacity(space.len());
     for p in space.ids() {
         let domain = space.domain(p);
-        // Values avoiding CP_f and all picked goods.
-        let strict: Vec<&Value> = domain
+        // Domain indices avoiding CP_f and all picked goods.
+        let strict: Vec<u32> = domain
             .values()
             .iter()
-            .filter(|v| *v != cp_f.get(p) && picked.iter().all(|g| *v != g.get(p)))
+            .enumerate()
+            .filter(|(_, v)| *v != cp_f.get(p) && picked.iter().all(|g| *v != g.get(p)))
+            .map(|(i, _)| i as u32)
             .collect();
-        let relaxed: Vec<&Value> = domain
+        let relaxed: Vec<u32> = domain
             .values()
             .iter()
-            .filter(|v| *v != cp_f.get(p))
+            .enumerate()
+            .filter(|(_, v)| *v != cp_f.get(p))
+            .map(|(i, _)| i as u32)
             .collect();
         let pool = if !strict.is_empty() { &strict } else { &relaxed };
         if pool.is_empty() {
             return None; // single-valued domain: disjointness unattainable
         }
-        values.push(pool[rng.gen_range(0..pool.len())].clone());
+        indices.push(pool[rng.gen_range(0..pool.len())]);
     }
-    Some(Instance::new(values))
+    Some(space.instance_from_indices(&indices))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bugdoc_core::{EvalResult, ParamSpace, Predicate, ProvenanceStore};
+    use bugdoc_core::{EvalResult, ParamSpace, Predicate, ProvenanceStore, Value};
     use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, Pipeline};
     use std::sync::Arc;
 

@@ -92,5 +92,15 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+// The dense-encoding hot paths at realistic history sizes — provenance
+// cache-hit lookup against a 10k-run store and `satisfied_by` filtering
+// across 1k candidate conjunctions — are registered via the shared
+// scenarios in `bugdoc_bench::perf`, the same code the headless `bench`
+// binary measures into BENCH_engine.json, so the two can never drift.
+criterion_group!(
+    benches,
+    bench_engine,
+    bugdoc_bench::perf::bench_hot_paths,
+    bugdoc_bench::perf::bench_ddt_end_to_end
+);
 criterion_main!(benches);

@@ -86,9 +86,9 @@ fn bench_qm(c: &mut Criterion) {
                         let d = space.domain(p);
                         let v = d.value(rng.gen_range(0..d.len())).clone();
                         let cmp = if d.is_ordinal() {
-                            Comparator::ALL[rng.gen_range(0..4)]
+                            Comparator::ALL[rng.gen_range(0..4usize)]
                         } else {
-                            Comparator::CATEGORICAL[rng.gen_range(0..2)]
+                            Comparator::CATEGORICAL[rng.gen_range(0..2usize)]
                         };
                         preds.push(Predicate::new(p, cmp, v));
                     }

@@ -1,0 +1,57 @@
+//! Headless perf-tracking runner: times the engine/algorithms hot paths and
+//! writes `BENCH_engine.json` (median ns per op) so the performance
+//! trajectory is recorded from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p bugdoc-bench --bin bench [-- --out PATH]
+//! ```
+//!
+//! Scenarios (see `bugdoc_bench::perf`):
+//! * `perf/evaluate_cold_32` — cold dispatch through a fresh executor
+//! * `perf/cache_hit_10k` — provenance cache hit against a 10k-run history
+//! * `perf/batch_dispatch_128/5` — 128-instance batch at 5 workers
+//! * `perf/concurrent_cache_hits_5w` — per-op time under 5-thread contention
+//! * `perf/satisfied_by_1k` — per-conjunction log filtering, 1k candidates
+//! * `perf/ddt_find_one` — DDT end-to-end on a synthetic pipeline
+
+use bugdoc_bench::perf;
+use criterion::Criterion;
+
+fn main() {
+    let mut out = String::from("BENCH_engine.json");
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = argv[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: bench [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut c = Criterion::default();
+    perf::bench_hot_paths(&mut c);
+    perf::bench_ddt_end_to_end(&mut c);
+
+    let mut results = c.take_results();
+    perf::normalize_contention_result(&mut results);
+    // Per-conjunction figure: the satisfied_by scenario times all 1k at once.
+    for r in &mut results {
+        if r.id.ends_with("satisfied_by_1k") {
+            r.median_ns /= 1_000.0;
+            for s in &mut r.samples_ns {
+                *s /= 1_000.0;
+            }
+        }
+    }
+
+    let json = criterion::results_json(&results);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}:\n{json}");
+}

@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use bugdoc_algorithms::{diagnose, BugDocConfig};
 use bugdoc_baselines::{dataxray, exptables};
 use bugdoc_core::{Conjunction, EvalResult, Outcome, ParamSpace, ProvenanceStore, Value};
@@ -99,7 +101,7 @@ pub fn seeded_executor(
     // failure kind at least once — the realistic "we have seen several
     // distinct bad runs" starting point.
     let n_causes = truth.len().max(1);
-    while prov.failing().count() < n_fail && guard < 500 {
+    while prov.num_failing() < n_fail && guard < 500 {
         let cause_idx = guard % n_causes;
         guard += 1;
         if let Some(inst) = truth.sample_failing_cause(&space, cause_idx, &mut rng) {
@@ -112,7 +114,7 @@ pub fn seeded_executor(
         }
     }
     let mut guard = 0;
-    while prov.succeeding().count() < n_succeed && guard < 500 {
+    while prov.num_succeeding() < n_succeed && guard < 500 {
         guard += 1;
         if let Some(inst) = truth.sample_succeeding(&space, &mut rng) {
             if prov.lookup(&inst).is_none() {

@@ -1,0 +1,310 @@
+//! Hot-path performance scenarios, shared by the Criterion benches and the
+//! headless `bench` binary (which emits `BENCH_engine.json`).
+//!
+//! The scenarios track the in-memory costs BugDoc's cost model treats as
+//! free — provenance cache probes, batch dispatch, predicate filtering over
+//! the run log — so regressions on the diagnosis hot path are visible from
+//! one PR to the next.
+
+use bugdoc_algorithms::{debugging_decision_trees, DdtConfig};
+use bugdoc_core::{
+    Comparator, Conjunction, EvalResult, Instance, Outcome, ParamSpace, Predicate, ProvenanceStore,
+    Value,
+};
+use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, Pipeline};
+use bugdoc_synth::{CauseScenario, SynthConfig, SyntheticPipeline};
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The perf space: 50 × 50 × 4 = 10 000 configurations, mixing ordinal and
+/// categorical parameters so value hashing costs are realistic.
+pub fn perf_space() -> Arc<ParamSpace> {
+    ParamSpace::builder()
+        .ordinal("a", (0..50).collect::<Vec<_>>())
+        .ordinal("b", (0..50).collect::<Vec<_>>())
+        .categorical("mode", ["baseline", "fast", "exact", "fused"])
+        .build()
+}
+
+/// A pipeline over [`perf_space`] failing on a small corner of the space.
+pub fn perf_pipeline(space: &Arc<ParamSpace>) -> Arc<dyn Pipeline> {
+    let a = space.by_name("a").unwrap();
+    Arc::new(FnPipeline::new(space.clone(), move |i: &Instance| {
+        EvalResult::of(Outcome::from_check(i.get(a) != &Value::from(7)))
+    }))
+}
+
+/// Every instance of the perf space, in enumeration order (10 000 of them).
+pub fn perf_instances(space: &ParamSpace) -> Vec<Instance> {
+    space.instances().collect()
+}
+
+/// A provenance store holding all 10 000 runs of the perf space.
+pub fn provenance_10k(space: &Arc<ParamSpace>) -> ProvenanceStore {
+    let a = space.by_name("a").unwrap();
+    let mut prov = ProvenanceStore::new(space.clone());
+    for inst in space.instances() {
+        let outcome = Outcome::from_check(inst.get(a) != &Value::from(7));
+        prov.record(inst, EvalResult::of(outcome));
+    }
+    prov
+}
+
+/// `n` random conjunctions of 1–3 predicates over a space — the candidate
+/// causes a DDT/dedup pass filters the log with.
+pub fn random_conjunctions(space: &ParamSpace, n: usize, seed: u64) -> Vec<Conjunction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let n_preds = rng.gen_range(1..=3usize);
+            let preds = (0..n_preds)
+                .map(|_| {
+                    let p = bugdoc_core::ParamId(rng.gen_range(0..space.len()) as u32);
+                    let d = space.domain(p);
+                    let v = d.value(rng.gen_range(0..d.len())).clone();
+                    let cmp = if d.is_ordinal() {
+                        Comparator::ALL[rng.gen_range(0..4usize)]
+                    } else {
+                        Comparator::CATEGORICAL[rng.gen_range(0..2usize)]
+                    };
+                    Predicate::new(p, cmp, v)
+                })
+                .collect();
+            Conjunction::new(preds)
+        })
+        .collect()
+}
+
+/// Registers the engine/core hot-path benchmarks on `c`:
+///
+/// * `perf/evaluate_cold_32` — 32 fresh evaluations through a new executor;
+/// * `perf/cache_hit_10k` — one cache-hit `evaluate` against a 10k-run history;
+/// * `perf/batch_dispatch_128/5` — a 128-instance batch at the paper's 5 workers;
+/// * `perf/concurrent_cache_hits_5w` — 5 threads × 200 cache-hit evaluations
+///   (reported per evaluation), the lock-contention probe;
+/// * `perf/satisfied_by_1k` — support counts for 1 000 candidate conjunctions
+///   over the 10k-run log (reported per conjunction).
+pub fn bench_hot_paths(c: &mut Criterion) {
+    let space = perf_space();
+
+    let mut group = c.benchmark_group("perf");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+
+    let cold_batch: Vec<Instance> = perf_instances(&space).into_iter().take(32).collect();
+    group.bench_function("evaluate_cold_32", {
+        let space = space.clone();
+        let cold_batch = cold_batch.clone();
+        move |b| {
+            b.iter_with_setup(
+                || Executor::new(perf_pipeline(&space), ExecutorConfig::default()),
+                |exec| {
+                    for i in &cold_batch {
+                        exec.evaluate(i).unwrap();
+                    }
+                    exec
+                },
+            )
+        }
+    });
+
+    // Store-level probe: the provenance map lookup itself, no executor around
+    // it — the cost every cache probe in the diagnosis loop pays.
+    let prov_lookup = provenance_10k(&space);
+    group.bench_function("prov_lookup_10k", {
+        let probes: Vec<Instance> = perf_instances(&space)
+            .into_iter()
+            .step_by(97)
+            .take(64)
+            .collect();
+        let mut k = 0usize;
+        move |b| {
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                prov_lookup.lookup(&probes[k]).is_some()
+            })
+        }
+    });
+
+    group.bench_function("prov_insert_10k", {
+        let space = space.clone();
+        let instances = perf_instances(&space);
+        move |b| {
+            b.iter_with_setup(
+                || (ProvenanceStore::new(space.clone()), instances.clone()),
+                |(mut prov, instances)| {
+                    for inst in instances {
+                        prov.record(inst, EvalResult::of(Outcome::Succeed));
+                    }
+                    prov
+                },
+            )
+        }
+    });
+
+    let exec_10k = Executor::with_provenance(
+        perf_pipeline(&space),
+        ExecutorConfig::default(),
+        provenance_10k(&space),
+    );
+    let probes: Vec<Instance> = perf_instances(&space)
+        .into_iter()
+        .step_by(97)
+        .take(64)
+        .collect();
+    group.bench_function("cache_hit_10k", {
+        let probes = probes.clone();
+        let mut k = 0usize;
+        move |b| {
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                exec_10k.evaluate(&probes[k]).unwrap()
+            })
+        }
+    });
+
+    let batch: Vec<Instance> = perf_instances(&space).into_iter().take(128).collect();
+    group.bench_function("batch_dispatch_128/5", {
+        let space = space.clone();
+        move |b| {
+            b.iter_with_setup(
+                || {
+                    Executor::new(
+                        perf_pipeline(&space),
+                        ExecutorConfig {
+                            workers: 5,
+                            budget: None,
+                        },
+                    )
+                },
+                |exec| {
+                    exec.evaluate_batch(&batch);
+                    exec
+                },
+            )
+        }
+    });
+
+    // Contention probe: 5 worker threads each issue 200 cache-hit
+    // evaluations against the shared executor; the reported time is per
+    // evaluation (wall time / 1000), so serialization across workers shows
+    // up directly.
+    const CONTENTION_THREADS: usize = 5;
+    const CONTENTION_OPS: usize = 200;
+    group.bench_function("concurrent_cache_hits_5w", {
+        let exec = Executor::with_provenance(
+            perf_pipeline(&space),
+            ExecutorConfig::default(),
+            provenance_10k(&space),
+        );
+        let probes = probes.clone();
+        move |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..CONTENTION_THREADS {
+                        let exec = &exec;
+                        let probes = &probes;
+                        s.spawn(move || {
+                            for k in 0..CONTENTION_OPS {
+                                let probe = &probes[(t * 31 + k) % probes.len()];
+                                exec.evaluate(probe).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        }
+    });
+
+    let prov = provenance_10k(&space);
+    let conjunctions = random_conjunctions(&space, 1_000, 17);
+    group.bench_function("satisfied_by_1k", move |b| {
+        b.iter(|| {
+            let mut acc = (0usize, 0usize);
+            for c in &conjunctions {
+                let (f, s) = prov.support(c);
+                acc.0 += f;
+                acc.1 += s;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Registers the end-to-end DDT benchmark on `c` (`perf/ddt_find_one`), the
+/// algorithm-level integral over all the hot paths above.
+pub fn bench_ddt_end_to_end(c: &mut Criterion) {
+    let pipe = Arc::new(SyntheticPipeline::generate(
+        &SynthConfig {
+            scenario: CauseScenario::SingleConjunction,
+            n_params: (6, 6),
+            n_values: (5, 8),
+            ..SynthConfig::default()
+        },
+        11,
+    ));
+    let mut group = c.benchmark_group("perf");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    group.bench_function("ddt_find_one", move |b| {
+        b.iter(|| {
+            let seeds = pipe.seed_history(2, 6, 7);
+            let mut prov = ProvenanceStore::new(Pipeline::space(pipe.as_ref()).clone());
+            for (inst, eval) in &seeds {
+                prov.record(inst.clone(), *eval);
+            }
+            let exec = Executor::with_provenance(
+                pipe.clone() as Arc<dyn Pipeline>,
+                ExecutorConfig {
+                    workers: 4,
+                    budget: None,
+                },
+                prov,
+            );
+            debugging_decision_trees(&exec, &DdtConfig::default())
+        })
+    });
+    group.finish();
+}
+
+/// Divides the per-iteration time of `concurrent_cache_hits_5w` (which times
+/// a whole 5×200-op round) down to a per-operation figure, in place.
+pub fn normalize_contention_result(results: &mut [criterion::BenchResult]) {
+    for r in results {
+        if r.id.ends_with("concurrent_cache_hits_5w") {
+            let ops = 1000.0;
+            r.median_ns /= ops;
+            for s in &mut r.samples_ns {
+                *s /= ops;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_space_has_10k_configurations() {
+        let s = perf_space();
+        assert_eq!(s.total_configurations(), 10_000);
+        assert_eq!(provenance_10k(&s).len(), 10_000);
+    }
+
+    #[test]
+    fn random_conjunctions_are_well_formed() {
+        let s = perf_space();
+        let cs = random_conjunctions(&s, 50, 3);
+        assert_eq!(cs.len(), 50);
+        assert!(cs.iter().all(|c| (1..=3).contains(&c.len())));
+    }
+}

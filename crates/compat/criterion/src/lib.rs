@@ -1,0 +1,376 @@
+//! Offline compat subset of `criterion`: a measuring benchmark harness with
+//! the same bench-definition API (`criterion_group!`, `benchmark_group`,
+//! `Bencher::iter*`) but a much simpler engine — warm-up, fixed sample count,
+//! median-of-samples reporting, no statistical analysis or plots.
+//!
+//! Results are printed per benchmark and collected in-process; a runner can
+//! drain them with [`Criterion::take_results`] (the headless `bench` binary
+//! in `bugdoc-bench` uses this to emit `BENCH_engine.json`), and standalone
+//! bench binaries write JSON to the path named by the `CRITERION_JSON`
+//! environment variable when it is set.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity; re-export of `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` (plus `/param` for parameterized benches).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Per-sample nanoseconds per iteration.
+    pub samples_ns: Vec<f64>,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// A parameterized benchmark name: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+    results: Vec<BenchResult>,
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Suppresses per-benchmark stdout lines (used by embedding runners).
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Overrides the default sample count for subsequently created groups.
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the default measurement time for subsequently created groups.
+    pub fn with_measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            criterion: self,
+        }
+    }
+
+    /// Drains the results collected so far.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes results as a JSON object `{id: median_ns}` plus samples.
+    pub fn results_json(&self) -> String {
+        results_json(&self.results)
+    }
+}
+
+/// Serializes results as JSON (stable key order: insertion order).
+pub fn results_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  \"{}\": {{\"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.samples_ns.len(),
+            r.iters_per_sample
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the time budget spread over the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Measures one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        self.run(id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            settings: self.settings.clone(),
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median_ns = if sorted.is_empty() {
+            f64::NAN
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        if !self.criterion.quiet {
+            println!("{id:60} time: {:>12.1} ns/iter", median_ns);
+        }
+        self.criterion.results.push(BenchResult {
+            id,
+            median_ns,
+            samples_ns: bencher.samples_ns,
+            iters_per_sample: bencher.iters_per_sample,
+        });
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    settings: Settings,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+        let sample_budget_ns =
+            self.settings.measurement_time.as_nanos() as f64 / self.settings.sample_size as f64;
+        let iters = ((sample_budget_ns / est_ns) as u64).clamp(1, 100_000_000);
+        self.iters_per_sample = iters;
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` only, running `setup` before every invocation.
+    pub fn iter_with_setup<S, O, Setup, R>(&mut self, mut setup: Setup, mut routine: R)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        // Warm-up: a few untimed runs.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut est_ns = 0.0f64;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            est_ns += t.elapsed().as_nanos() as f64;
+            warm_iters += 1;
+            if warm_iters >= 100_000 {
+                break;
+            }
+        }
+        est_ns = (est_ns / warm_iters as f64).max(0.5);
+        let sample_budget_ns =
+            self.settings.measurement_time.as_nanos() as f64 / self.settings.sample_size as f64;
+        let iters = ((sample_budget_ns / est_ns) as u64).clamp(1, 10_000_000);
+        self.iters_per_sample = iters;
+        for _ in 0..self.settings.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std_black_box(routine(input));
+                elapsed += t.elapsed();
+            }
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Writes collected results to `$CRITERION_JSON` if set; called by
+/// `criterion_main!` after all groups run.
+pub fn finalize(c: &mut Criterion) {
+    let results = c.take_results();
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, results_json(&results)) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Declares a group-runner function executing the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, then finalizing JSON output.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            $crate::finalize(&mut c);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_median() {
+        let mut c = Criterion::default().quiet(true).with_sample_size(5);
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5)
+                .measurement_time(Duration::from_millis(50))
+                .warm_up_time(Duration::from_millis(5));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "g/noop");
+        assert_eq!(results[1].id, "g/param/3");
+        assert!(results[0].median_ns.is_finite() && results[0].median_ns >= 0.0);
+        assert_eq!(results[0].samples_ns.len(), 5);
+    }
+
+    #[test]
+    fn iter_with_setup_times_routine_only() {
+        let mut c = Criterion::default().quiet(true);
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(30))
+                .warm_up_time(Duration::from_millis(1));
+            g.bench_function("setup", |b| {
+                b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+            });
+        }
+        assert_eq!(c.results().len(), 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = results_json(&[BenchResult {
+            id: "a/b".into(),
+            median_ns: 12.5,
+            samples_ns: vec![12.5],
+            iters_per_sample: 100,
+        }]);
+        assert!(json.contains("\"a/b\""));
+        assert!(json.contains("\"median_ns\": 12.5"));
+    }
+}

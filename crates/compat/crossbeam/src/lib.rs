@@ -1,0 +1,68 @@
+//! Offline compat subset of `crossbeam`: scoped threads over
+//! `std::thread::scope` (stable since Rust 1.63, which is why the real crate
+//! is no longer needed for this workspace's usage).
+//!
+//! Behavioural difference: `std::thread::scope` re-raises a child panic when
+//! the scope exits, so this `scope` only ever returns `Ok` — callers that
+//! `.expect(..)` the result observe the child's panic message instead of the
+//! `expect` message. The workspace treats worker panics as fatal either way.
+
+use std::any::Any;
+use std::thread::{Scope as StdScope, ScopedJoinHandle};
+
+/// A scope handle passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope StdScope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a unit placeholder where
+    /// crossbeam passes a nested scope (the workspace never uses it).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs a closure with a thread scope; all spawned threads are joined before
+/// this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let data = vec![1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

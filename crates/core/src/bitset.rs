@@ -1,0 +1,208 @@
+//! A dense bitset over run indices — the backbone of the provenance store's
+//! inverted index.
+//!
+//! Each `RunSet` is a vector of 64-bit words; run `i` lives at bit
+//! `i % 64` of word `i / 64`. Predicate evaluation over the run log becomes
+//! bitwise AND/OR + popcount over these words instead of per-run
+//! interpretation (see `provenance.rs` for the index layout).
+
+/// A growable bitset of run indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunSet {
+    words: Vec<u64>,
+}
+
+impl RunSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        RunSet::default()
+    }
+
+    /// The set `{0, 1, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut set = RunSet {
+            words: vec![u64::MAX; n.div_ceil(64)],
+        };
+        let tail = n % 64;
+        if tail != 0 {
+            if let Some(last) = set.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        set
+    }
+
+    /// Adds run `i`, growing as needed.
+    pub fn insert(&mut self, i: usize) {
+        let word = i / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (i % 64);
+    }
+
+    /// True if run `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Intersects in place (`self &= other`). Words beyond `other`'s length
+    /// are cleared.
+    pub fn and_assign(&mut self, other: &RunSet) {
+        let n = self.words.len().min(other.words.len());
+        for k in 0..n {
+            self.words[k] &= other.words[k];
+        }
+        for w in &mut self.words[n..] {
+            *w = 0;
+        }
+    }
+
+    /// Unions in place (`self |= other`).
+    pub fn or_assign(&mut self, other: &RunSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (k, w) in other.words.iter().enumerate() {
+            self.words[k] |= w;
+        }
+    }
+
+    /// Empties the set, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Number of runs in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_count(&self, other: &RunSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if the sets share any run.
+    pub fn intersects(&self, other: &RunSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates set members in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the members of a [`RunSet`]; see [`RunSet::ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = RunSet::new();
+        assert!(s.is_empty());
+        for i in [0usize, 63, 64, 130] {
+            s.insert(i);
+        }
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(130));
+        assert!(!s.contains(1) && !s.contains(129) && !s.contains(1000));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 63, 64, 130]);
+    }
+
+    #[test]
+    fn full_has_exact_tail() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let s = RunSet::full(n);
+            assert_eq!(s.count(), n, "n={n}");
+            assert_eq!(s.ones().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+            assert!(!s.contains(n));
+        }
+    }
+
+    #[test]
+    fn and_or_intersection() {
+        let mut a = RunSet::new();
+        let mut b = RunSet::new();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a.insert(i);
+            }
+            if i % 3 == 0 {
+                b.insert(i);
+            }
+        }
+        assert_eq!(a.intersection_count(&b), 17); // multiples of 6 in 0..100
+        assert!(a.intersects(&b));
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c.count(), 17);
+        let mut d = a.clone();
+        d.or_assign(&b);
+        assert_eq!(d.count(), 50 + 34 - 17);
+    }
+
+    #[test]
+    fn and_with_shorter_clears_tail() {
+        let mut a = RunSet::new();
+        a.insert(10);
+        a.insert(100);
+        let mut b = RunSet::new();
+        b.insert(10);
+        a.and_assign(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![10]);
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_intersect() {
+        let mut a = RunSet::new();
+        let mut b = RunSet::new();
+        a.insert(1);
+        b.insert(2);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 0);
+    }
+}

@@ -8,12 +8,43 @@
 use crate::param::{ParamId, ParamSpace};
 use crate::value::Value;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A complete assignment of values to parameters, stored densely by
 /// [`ParamId`] index.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Space-aware constructors ([`Instance::from_pairs`],
+/// [`ParamSpace::instance_from_indices`], [`ParamSpace::instances`]) also
+/// attach the instance's **dense encoding** — one domain index (`u32`) per
+/// parameter — which the provenance store uses as its canonical hash key and
+/// the instance comparisons below use as a fast path. Instances built with
+/// [`Instance::new`] carry no encoding and fall back to value comparisons;
+/// equality and hashing are always defined over the values, so the two kinds
+/// interoperate.
+#[derive(Debug, Clone)]
 pub struct Instance {
     values: Box<[Value]>,
+    /// Per-parameter domain indices w.r.t. the space the instance was built
+    /// against. Not part of `Eq`/`Hash` (it is derived data); comparisons may
+    /// use it as a shortcut only where both operands come from one space.
+    dense: Option<Box<[u32]>>,
+    /// `hash_dense_key(dense)`, precomputed at construction so hot-path
+    /// probes skip the hash chain. Meaningful only when `dense` is `Some`.
+    fingerprint: u64,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+impl Eq for Instance {}
+
+impl Hash for Instance {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.values.hash(state);
+    }
 }
 
 impl Instance {
@@ -21,36 +52,74 @@ impl Instance {
     pub fn new(values: Vec<Value>) -> Self {
         Instance {
             values: values.into_boxed_slice(),
+            dense: None,
+            fingerprint: 0,
         }
+    }
+
+    /// Creates an instance carrying its dense encoding (crate-internal; the
+    /// public space-aware entry point is [`ParamSpace::instance_from_indices`]).
+    pub(crate) fn new_with_dense(values: Vec<Value>, dense: Vec<u32>) -> Self {
+        debug_assert_eq!(values.len(), dense.len());
+        let fingerprint = crate::fx::hash_dense_key(&dense);
+        Instance {
+            values: values.into_boxed_slice(),
+            dense: Some(dense.into_boxed_slice()),
+            fingerprint,
+        }
+    }
+
+    /// The dense encoding (domain index per parameter), if this instance was
+    /// built against a space. See the type-level docs for the caveats.
+    #[inline]
+    pub fn dense_key(&self) -> Option<&[u32]> {
+        self.dense.as_deref()
+    }
+
+    /// The precomputed [`hash_dense_key`](crate::hash_dense_key) fingerprint
+    /// of the dense encoding, when one is present.
+    #[inline]
+    pub fn dense_fingerprint(&self) -> Option<u64> {
+        self.dense.as_ref().map(|_| self.fingerprint)
+    }
+
+    /// Attaches a dense encoding computed after construction (used by the
+    /// provenance store when it encodes a key-less instance on record).
+    pub(crate) fn set_dense(&mut self, dense: Box<[u32]>) {
+        debug_assert_eq!(self.values.len(), dense.len());
+        self.fingerprint = crate::fx::hash_dense_key(&dense);
+        self.dense = Some(dense);
     }
 
     /// Creates an instance from `(name, value)` pairs against a space. Every
     /// parameter must be assigned exactly once and every value must belong to
     /// the parameter's universe; anything else is a caller bug and panics.
+    /// Values are normalized to the domain's stored representation (an `Int`
+    /// literal against a float domain becomes the domain's `Float`), so equal
+    /// assignments compare equal regardless of literal spelling.
     pub fn from_pairs<'a>(
         space: &ParamSpace,
         pairs: impl IntoIterator<Item = (&'a str, Value)>,
     ) -> Self {
-        let mut slots: Vec<Option<Value>> = vec![None; space.len()];
+        let mut slots: Vec<Option<u32>> = vec![None; space.len()];
         for (name, v) in pairs {
             let id = space
                 .by_name(name)
                 .unwrap_or_else(|| panic!("unknown parameter {name:?}"));
+            let idx = space.domain(id).index_of(&v).unwrap_or_else(|| {
+                panic!("value {v} outside the universe of parameter {name:?}")
+            });
             assert!(
-                space.domain(id).contains(&v),
-                "value {v} outside the universe of parameter {name:?}"
-            );
-            assert!(
-                slots[id.index()].replace(v).is_none(),
+                slots[id.index()].replace(idx as u32).is_none(),
                 "parameter {name:?} assigned twice"
             );
         }
-        let values: Vec<Value> = slots
+        let dense: Vec<u32> = slots
             .into_iter()
             .enumerate()
             .map(|(i, s)| s.unwrap_or_else(|| panic!("parameter index {i} not assigned")))
             .collect();
-        Instance::new(values)
+        space.instance_from_indices(&dense)
     }
 
     /// Number of parameters assigned.
@@ -74,17 +143,41 @@ impl Instance {
     }
 
     /// Returns a copy with parameter `p` reassigned to `v` — the elementary
-    /// move of the Shortcut algorithm (`CP_current'[p] ← CP_g[p]`).
+    /// move of the Shortcut algorithm (`CP_current'[p] ← CP_g[p]`). The copy
+    /// loses the dense encoding (the new value's domain index is unknown
+    /// without a space); prefer [`Instance::with_from`] when the replacement
+    /// value comes from another instance.
     pub fn with(&self, p: ParamId, v: Value) -> Self {
         let mut values = self.values.to_vec();
         values[p.index()] = v;
         Instance::new(values)
     }
 
+    /// Returns a copy with parameter `p` reassigned to `donor`'s value for
+    /// `p`, preserving the dense encoding when both instances carry one —
+    /// the zero-re-encoding form of the Shortcut substitution step.
+    pub fn with_from(&self, p: ParamId, donor: &Instance) -> Self {
+        let mut values = self.values.to_vec();
+        values[p.index()] = donor.get(p).clone();
+        match (&self.dense, &donor.dense) {
+            (Some(a), Some(b)) => {
+                let mut dense = a.to_vec();
+                dense[p.index()] = b[p.index()];
+                Instance::new_with_dense(values, dense)
+            }
+            _ => Instance::new(values),
+        }
+    }
+
     /// True if the two instances disagree on *every* parameter — the paper's
-    /// Disjointness Condition (Def. 6): `CP_x[p] ≠ CP_y[p] ∀p`.
+    /// Disjointness Condition (Def. 6): `CP_x[p] ≠ CP_y[p] ∀p`. When both
+    /// sides carry dense encodings (necessarily from the same space, since
+    /// they assign the same parameters), the check compares indices only.
     pub fn is_disjoint_from(&self, other: &Instance) -> bool {
         debug_assert_eq!(self.len(), other.len());
+        if let (Some(a), Some(b)) = (&self.dense, &other.dense) {
+            return a.iter().zip(b.iter()).all(|(x, y)| x != y);
+        }
         self.values
             .iter()
             .zip(other.values.iter())
@@ -96,6 +189,9 @@ impl Instance {
     /// be met, paper §4.1) maximizes this.
     pub fn hamming_distance(&self, other: &Instance) -> usize {
         debug_assert_eq!(self.len(), other.len());
+        if let (Some(a), Some(b)) = (&self.dense, &other.dense) {
+            return a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+        }
         self.values
             .iter()
             .zip(other.values.iter())

@@ -26,7 +26,9 @@
 
 #![warn(missing_docs)]
 
+mod bitset;
 mod cause;
+mod fx;
 mod instance;
 mod outcome;
 mod param;
@@ -34,7 +36,9 @@ mod predicate;
 mod provenance;
 mod value;
 
+pub use bitset::{Ones, RunSet};
 pub use cause::{CanonicalCause, Conjunction, ConjunctionDisplay, Dnf, DnfDisplay};
+pub use fx::{hash_dense_key, FxBuildHasher, FxHasher};
 pub use instance::{Instance, InstanceDisplay};
 pub use outcome::{EvalResult, Outcome};
 pub use param::{Domain, DomainKind, InstanceIter, ParamDef, ParamId, ParamSpace, ParamSpaceBuilder};

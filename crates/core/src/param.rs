@@ -7,7 +7,10 @@
 //! domain declaration ("parameter satisfaction can take integer values between
 //! 1 and 10").
 
+use crate::fx::FxBuildHasher;
+use crate::instance::Instance;
 use crate::value::Value;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -43,23 +46,46 @@ pub enum DomainKind {
 ///
 /// Values are stored deduplicated; ordinal domains are kept sorted so that a
 /// value's domain index is also its rank, which the canonical root-cause form
-/// exploits (prefix sets ⇔ `≤` predicates).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// exploits (prefix sets ⇔ `≤` predicates). A value→index hash table rides
+/// along so [`Domain::index_of`] — the inner loop of dense instance encoding —
+/// is a single cheap hash probe instead of a scan.
+#[derive(Debug, Clone)]
 pub struct Domain {
     kind: DomainKind,
     values: Vec<Value>,
+    /// Value → domain index, kept in sync with `values`.
+    index: HashMap<Value, u32, FxBuildHasher>,
 }
 
+impl PartialEq for Domain {
+    fn eq(&self, other: &Self) -> bool {
+        // `index` is derived from `values`; comparing it would be redundant.
+        self.kind == other.kind && self.values == other.values
+    }
+}
+
+impl Eq for Domain {}
+
 impl Domain {
+    fn with_values(kind: DomainKind, values: Vec<Value>) -> Self {
+        let index = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Domain {
+            kind,
+            values,
+            index,
+        }
+    }
+
     /// Builds an ordinal (sorted, deduplicated) domain.
     pub fn ordinal(values: impl IntoIterator<Item = Value>) -> Self {
         let mut values: Vec<Value> = values.into_iter().collect();
         values.sort();
         values.dedup();
-        Domain {
-            kind: DomainKind::Ordinal,
-            values,
-        }
+        Domain::with_values(DomainKind::Ordinal, values)
     }
 
     /// Builds a categorical (deduplicated, insertion-ordered) domain.
@@ -70,10 +96,7 @@ impl Domain {
                 seen.push(v);
             }
         }
-        Domain {
-            kind: DomainKind::Categorical,
-            values: seen,
-        }
+        Domain::with_values(DomainKind::Categorical, seen)
     }
 
     /// Domain kind.
@@ -106,13 +129,28 @@ impl Domain {
         &self.values[idx]
     }
 
-    /// The domain index of a value, if present.
+    /// The domain index of a value, if present: one hash probe in the common
+    /// case. A cross-variant numeric spelling (an `Int` literal probed
+    /// against a `Float` domain) misses the exact-match table and falls back
+    /// to the order-based search, which treats `2` and `2.0` as equal.
     pub fn index_of(&self, v: &Value) -> Option<usize> {
+        if let Some(&i) = self.index.get(v) {
+            return Some(i as usize);
+        }
         if self.is_ordinal() {
             self.values.binary_search(v).ok()
         } else {
             self.values.iter().position(|x| x == v)
         }
+    }
+
+    /// Like [`Domain::index_of`] but *without* the cross-variant fallback:
+    /// only a value identical (by `Eq`) to a stored domain value matches.
+    /// Dense instance encoding uses this so the bitset index never classifies
+    /// a run under a value that compares unequal to the one it actually
+    /// stores (predicates apply `Eq`, where `Int(2) != Float(2.0)`).
+    pub fn exact_index_of(&self, v: &Value) -> Option<usize> {
+        self.index.get(v).map(|&i| i as usize)
     }
 
     /// True if the value belongs to the universe.
@@ -122,17 +160,30 @@ impl Domain {
 
     /// Extends the universe with a newly observed value (paper §3: `U_p` grows
     /// as new instances assign new values). Returns the value's domain index.
-    /// Ordinal domains stay sorted.
+    /// Ordinal domains stay sorted (a middle insertion re-indexes the tail).
+    ///
+    /// **Freeze invariant:** domain indices are the currency of the dense
+    /// instance encoding — cached [`Instance::dense_key`]s, the provenance
+    /// store's value bitsets, and the executor's read cache all assume they
+    /// never change. Grow a domain only *before* building instances, stores,
+    /// or executors against its space (spaces shared via `Arc` are immutable
+    /// anyway; this only concerns pre-`build` mutation through
+    /// [`ParamDef::domain_mut`]).
     pub fn observe(&mut self, v: Value) -> usize {
         if let Some(i) = self.index_of(&v) {
             return i;
         }
         if self.is_ordinal() {
             let pos = self.values.partition_point(|x| x < &v);
-            self.values.insert(pos, v);
+            self.values.insert(pos, v.clone());
+            for (i, shifted) in self.values[pos..].iter().enumerate().skip(1) {
+                self.index.insert(shifted.clone(), (pos + i) as u32);
+            }
+            self.index.insert(v, pos as u32);
             pos
         } else {
-            self.values.push(v);
+            self.values.push(v.clone());
+            self.index.insert(v, (self.values.len() - 1) as u32);
             self.values.len() - 1
         }
     }
@@ -244,6 +295,41 @@ impl ParamSpace {
             .map(|(i, p)| (ParamId(i as u32), p))
     }
 
+    /// The dense encoding of an instance: each parameter's value replaced by
+    /// its domain index. `None` if any value is not *identical* to a domain
+    /// value (or the arity differs) — such instances fall back to
+    /// value-based handling in the provenance store. Identity is deliberate:
+    /// a `Float(2.0)` stored against an `Int` domain must not be indexed
+    /// under `Int(2)`, or bitset predicate evaluation would disagree with
+    /// `Conjunction::satisfied_by`'s `Eq` semantics.
+    ///
+    /// The cached key on the instance itself ([`Instance::dense_key`]) is
+    /// preferred when present; this method is the recompute path.
+    pub fn encode(&self, instance: &Instance) -> Option<Box<[u32]>> {
+        if instance.len() != self.len() {
+            return None;
+        }
+        let mut key = Vec::with_capacity(self.len());
+        for (def, v) in self.params.iter().zip(instance.values()) {
+            key.push(def.domain().exact_index_of(v)? as u32);
+        }
+        Some(key.into_boxed_slice())
+    }
+
+    /// Materializes the instance denoted by a dense encoding (inverse of
+    /// [`ParamSpace::encode`]); the result carries the encoding. Panics on
+    /// arity mismatch or out-of-range indices.
+    pub fn instance_from_indices(&self, indices: &[u32]) -> Instance {
+        assert_eq!(indices.len(), self.len(), "dense key arity mismatch");
+        let values: Vec<Value> = self
+            .params
+            .iter()
+            .zip(indices)
+            .map(|(def, &i)| def.domain().value(i as usize).clone())
+            .collect();
+        Instance::new_with_dense(values, indices.to_vec())
+    }
+
     /// Size of the Cartesian product of all domains: the number of distinct
     /// pipeline instances. Saturates at `u128::MAX` (a 15-parameter, 30-value
     /// space is ~10^22, well within range).
@@ -283,12 +369,8 @@ impl Iterator for InstanceIter<'_> {
         if self.done {
             return None;
         }
-        let values: Vec<Value> = self
-            .indices
-            .iter()
-            .enumerate()
-            .map(|(p, &i)| self.space.params[p].domain().value(i).clone())
-            .collect();
+        let dense: Vec<u32> = self.indices.iter().map(|&i| i as u32).collect();
+        let instance = self.space.instance_from_indices(&dense);
         // Advance the mixed-radix counter.
         let mut carry = true;
         for (p, idx) in self.indices.iter_mut().enumerate().rev() {
@@ -305,7 +387,7 @@ impl Iterator for InstanceIter<'_> {
         if carry {
             self.done = true;
         }
-        Some(crate::instance::Instance::new(values))
+        Some(instance)
     }
 }
 

@@ -8,14 +8,160 @@
 //! for the queries the algorithms pose: find a failing instance, find
 //! (mutually) disjoint successes, check whether a hypothetical cause has a
 //! succeeding superset (the Shortcut sanity check).
+//!
+//! # Index layout
+//!
+//! Because BugDoc's cost model counts only *new pipeline executions*, every
+//! in-memory operation here must be effectively free even at large histories.
+//! The store therefore maintains, alongside the append-only `runs` log:
+//!
+//! * **Dense instance keys** — each recorded instance is encoded as one
+//!   domain index per parameter (`Box<[u32]>`, see [`ParamSpace::encode`]),
+//!   and `by_key` maps that encoding (hashed with the cheap
+//!   [`FxHasher`](crate::FxHasher)) to its run index. Lookup of an instance
+//!   that carries its own key ([`Instance::dense_key`]) hashes a handful of
+//!   `u32`s — no `Value` hashing, no instance cloning.
+//! * **Per-(parameter, value) run bitsets** — `value_bits[offsets[p] + v]` is
+//!   the [`RunSet`] of runs whose parameter `p` takes domain value `v`,
+//!   alongside `fail_bits`/`succeed_bits` for the outcomes. A predicate's
+//!   satisfying runs are the OR of the bitsets of its allowed values; a
+//!   conjunction's are the AND across its predicates — so
+//!   [`support`](ProvenanceStore::support),
+//!   [`satisfying_runs`](ProvenanceStore::satisfying_runs), and
+//!   [`succeeding_superset_exists`](ProvenanceStore::succeeding_superset_exists)
+//!   are word-parallel bit operations over the log instead of per-run
+//!   predicate interpretation.
+//! * **Overflow list** — instances whose values fall outside their declared
+//!   domains (possible via the unchecked [`Instance::new`]) cannot be
+//!   encoded; they are tracked in `overflow` and handled by the original
+//!   interpretive path, so the fast index never changes observable
+//!   semantics.
 
+use crate::bitset::RunSet;
 use crate::cause::Conjunction;
+use crate::fx::hash_dense_key;
 use crate::instance::Instance;
 use crate::outcome::{EvalResult, Outcome};
 use crate::param::ParamSpace;
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// Open-addressing index from dense instance keys to run indices.
+///
+/// Slots hold `(fingerprint, run)` pairs; the key bytes live in a flat
+/// side arena (`arity` `u32`s per run, zero-filled for unencodable runs), so
+/// every probe is hash → slot → one contiguous arena row — no pointer chase
+/// through the run log. A fingerprint match is always confirmed against the
+/// arena row, so lookups are exact even under 64-bit hash collisions; this
+/// is still a handful of nanoseconds against a 10k-run history, versus the
+/// tens a general-purpose `HashMap<Box<[u32]>, _>` costs on the same probe.
+#[derive(Debug, Clone)]
+struct KeyIndex {
+    /// Packed slots: high 32 bits = fingerprint tag (`fp >> 32`), low 32 =
+    /// run index (`EMPTY` marks a free slot). 8 bytes per slot keeps the
+    /// table cache-resident at large histories. Slot position is derived
+    /// from the fingerprint's *low* bits, so tag and position are
+    /// independent; a tag match is always confirmed against the arena.
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+    /// Dense keys, one `arity`-sized row per run (in run order).
+    arena: Vec<u32>,
+    /// Key length — the parameter count of the store's space.
+    arity: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+const FREE_SLOT: u64 = EMPTY as u64;
+
+#[inline]
+fn pack_slot(fp: u64, run: u32) -> u64 {
+    (fp & 0xFFFF_FFFF_0000_0000) | run as u64
+}
+
+impl KeyIndex {
+    fn new(arity: usize) -> Self {
+        KeyIndex {
+            slots: vec![FREE_SLOT; 16],
+            mask: 15,
+            len: 0,
+            arena: Vec::new(),
+            arity,
+        }
+    }
+
+    /// The arena row holding run `r`'s dense key.
+    #[inline]
+    fn row(&self, r: usize) -> &[u32] {
+        &self.arena[r * self.arity..(r + 1) * self.arity]
+    }
+
+    /// The run whose instance has dense key `key`, given `key`'s fingerprint.
+    /// Exact: every tag match is confirmed against the stored key bytes.
+    #[inline]
+    fn get(&self, fp: u64, key: &[u32]) -> Option<usize> {
+        let tag = fp & 0xFFFF_FFFF_0000_0000;
+        let mut i = fp as usize & self.mask;
+        loop {
+            let slot = self.slots[i];
+            let run = slot as u32;
+            if run == EMPTY {
+                return None;
+            }
+            if slot & 0xFFFF_FFFF_0000_0000 == tag && self.row(run as usize) == key {
+                return Some(run as usize);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Appends run `run`'s key row (callers append rows strictly in run
+    /// order) and indexes it. The key must be absent (checked by `get`) and
+    /// `run` must be below [`EMPTY`].
+    fn insert(&mut self, fp: u64, run: u32, key: &[u32]) {
+        debug_assert_eq!(key.len(), self.arity);
+        debug_assert_eq!(self.arena.len(), run as usize * self.arity);
+        assert!(run < EMPTY, "run index overflow");
+        self.arena.extend_from_slice(key);
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = fp as usize & self.mask;
+        while self.slots[i] as u32 != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = pack_slot(fp, run);
+        self.len += 1;
+    }
+
+    /// Appends a zero-filled arena row for a run that has no dense key, so
+    /// row addressing stays `run * arity`. (The row is never compared: only
+    /// runs inserted into `slots` are.)
+    fn push_overflow_row(&mut self, run: u32) {
+        debug_assert_eq!(self.arena.len(), run as usize * self.arity);
+        self.arena.extend(std::iter::repeat(0).take(self.arity));
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![FREE_SLOT; new_cap]);
+        self.mask = new_cap - 1;
+        for slot in old {
+            if slot as u32 == EMPTY {
+                continue;
+            }
+            // Re-derive the position from the stored run's key: the low
+            // fingerprint bits are not stored, so rehash the arena row.
+            let run = slot as u32;
+            let fp = hash_dense_key(self.row(run as usize));
+            let mut i = fp as usize & self.mask;
+            while self.slots[i] as u32 != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = pack_slot(fp, run);
+        }
+    }
+}
 
 /// One recorded execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,22 +183,102 @@ impl Run {
 ///
 /// The evaluation procedure is deterministic (paper §3, Def. 2), so recording
 /// the same instance twice with conflicting outcomes is a bug; `record`
-/// detects and reports it.
+/// detects and reports it. See the module docs for the dense-key and bitset
+/// index this store maintains.
 #[derive(Debug, Clone)]
 pub struct ProvenanceStore {
     space: Arc<ParamSpace>,
     runs: Vec<Run>,
-    by_instance: HashMap<Instance, usize>,
+    /// Dense instance encoding → run index (no instance clone stored).
+    by_key: KeyIndex,
+    /// Start of parameter `p`'s slice of `value_bits`.
+    offsets: Vec<u32>,
+    /// `(parameter, value)` → set of runs assigning that value.
+    value_bits: Vec<RunSet>,
+    /// Runs that failed.
+    fail_bits: RunSet,
+    /// Runs that succeeded.
+    succeed_bits: RunSet,
+    /// Runs whose instances could not be densely encoded (out-of-domain
+    /// values); they are absent from `by_key`/`value_bits` and served by the
+    /// interpretive fallback paths.
+    overflow: Vec<u32>,
 }
 
 impl ProvenanceStore {
     /// An empty history over a space.
     pub fn new(space: Arc<ParamSpace>) -> Self {
+        let mut offsets = Vec::with_capacity(space.len());
+        let mut total = 0u32;
+        for p in space.ids() {
+            offsets.push(total);
+            total += space.domain(p).len() as u32;
+        }
+        let arity = space.len();
         ProvenanceStore {
             space,
             runs: Vec::new(),
-            by_instance: HashMap::new(),
+            by_key: KeyIndex::new(arity),
+            offsets,
+            value_bits: vec![RunSet::new(); total as usize],
+            fail_bits: RunSet::new(),
+            succeed_bits: RunSet::new(),
+            overflow: Vec::new(),
         }
+    }
+
+    /// The dense key for an instance: the cached one when present (debug-
+    /// asserted against the space), else freshly encoded.
+    fn key_of(&self, instance: &Instance) -> Option<Box<[u32]>> {
+        if let Some(k) = instance.dense_key() {
+            debug_assert_eq!(
+                Some(k),
+                self.space.encode(instance).as_deref(),
+                "instance carries a dense key inconsistent with this store's space"
+            );
+            return Some(k.into());
+        }
+        self.space.encode(instance)
+    }
+
+    /// Run index of an unencodable instance, by value equality.
+    fn overflow_find(&self, instance: &Instance) -> Option<usize> {
+        self.overflow
+            .iter()
+            .map(|&i| i as usize)
+            .find(|&i| &self.runs[i].instance == instance)
+    }
+
+    /// The set of runs satisfying `cause`, as a bitset over run indices.
+    fn satisfying_set(&self, cause: &Conjunction) -> RunSet {
+        if cause.is_empty() {
+            return RunSet::full(self.runs.len());
+        }
+        let mut acc: Option<RunSet> = None;
+        let mut pred_mask = RunSet::new();
+        for pred in cause.predicates() {
+            let domain = self.space.domain(pred.param);
+            pred_mask.clear();
+            let base = self.offsets[pred.param.index()] as usize;
+            for idx in pred.allowed_indices(domain) {
+                pred_mask.or_assign(&self.value_bits[base + idx]);
+            }
+            match &mut acc {
+                None => acc = Some(pred_mask.clone()),
+                Some(a) => a.and_assign(&pred_mask),
+            }
+            if acc.as_ref().is_some_and(RunSet::is_empty) {
+                break;
+            }
+        }
+        let mut set = acc.unwrap_or_default();
+        // Unencodable runs never appear in `value_bits`; interpret them.
+        for &i in &self.overflow {
+            if cause.satisfied_by(&self.runs[i as usize].instance) {
+                set.insert(i as usize);
+            }
+        }
+        set
     }
 
     /// A history pre-seeded with given runs (the paper's "previously run
@@ -74,8 +300,22 @@ impl ProvenanceStore {
     /// duplicate with the same outcome is a silent no-op; a duplicate with a
     /// *different* outcome panics — it violates Def. 2's determinism and would
     /// silently corrupt every downstream guarantee.
-    pub fn record(&mut self, instance: Instance, eval: EvalResult) -> bool {
-        if let Some(&i) = self.by_instance.get(&instance) {
+    ///
+    /// The map key is the instance's dense encoding (4 bytes per parameter),
+    /// not a clone of the instance; the bitset index is updated in the same
+    /// pass.
+    pub fn record(&mut self, mut instance: Instance, eval: EvalResult) -> bool {
+        let key = self.key_of(&instance);
+        let fp = match (&key, instance.dense_fingerprint()) {
+            (Some(_), Some(fp)) => fp,
+            (Some(k), None) => hash_dense_key(k),
+            (None, _) => 0,
+        };
+        let existing = match &key {
+            Some(k) => self.by_key.get(fp, k.as_ref()),
+            None => self.overflow_find(&instance),
+        };
+        if let Some(i) = existing {
             assert_eq!(
                 self.runs[i].eval.outcome,
                 eval.outcome,
@@ -84,7 +324,26 @@ impl ProvenanceStore {
             );
             return false;
         }
-        self.by_instance.insert(instance.clone(), self.runs.len());
+        let idx = self.runs.len();
+        match key {
+            Some(k) => {
+                for (p, &vi) in k.iter().enumerate() {
+                    self.value_bits[self.offsets[p] as usize + vi as usize].insert(idx);
+                }
+                if instance.dense_key().is_none() {
+                    instance.set_dense(k.clone());
+                }
+                self.by_key.insert(fp, idx as u32, &k);
+            }
+            None => {
+                self.by_key.push_overflow_row(idx as u32);
+                self.overflow.push(idx as u32);
+            }
+        }
+        match eval.outcome {
+            Outcome::Fail => self.fail_bits.insert(idx),
+            Outcome::Succeed => self.succeed_bits.insert(idx),
+        }
         self.runs.push(Run { instance, eval });
         true
     }
@@ -105,8 +364,28 @@ impl ProvenanceStore {
     }
 
     /// The recorded evaluation of an instance, if it was executed.
+    ///
+    /// When the probe carries its dense key (the common case on the hot
+    /// path), this is a single FxHash probe over a few `u32`s.
     pub fn lookup(&self, instance: &Instance) -> Option<&EvalResult> {
-        self.by_instance.get(instance).map(|&i| &self.runs[i].eval)
+        if let Some(k) = instance.dense_key() {
+            debug_assert_eq!(
+                Some(k),
+                self.space.encode(instance).as_deref(),
+                "instance carries a dense key inconsistent with this store's space"
+            );
+            let fp = instance
+                .dense_fingerprint()
+                .expect("fingerprint accompanies the dense key");
+            return self.by_key.get(fp, k).map(|i| &self.runs[i].eval);
+        }
+        match self.space.encode(instance) {
+            Some(k) => self
+                .by_key
+                .get(hash_dense_key(&k), &k)
+                .map(|i| &self.runs[i].eval),
+            None => self.overflow_find(instance).map(|i| &self.runs[i].eval),
+        }
     }
 
     /// The recorded outcome of an instance, if it was executed.
@@ -116,18 +395,22 @@ impl ProvenanceStore {
 
     /// Iterates over failing instances (in recording order).
     pub fn failing(&self) -> impl Iterator<Item = &Instance> {
-        self.runs
-            .iter()
-            .filter(|r| r.outcome().is_fail())
-            .map(|r| &r.instance)
+        self.fail_bits.ones().map(|i| &self.runs[i].instance)
     }
 
     /// Iterates over succeeding instances (in recording order).
     pub fn succeeding(&self) -> impl Iterator<Item = &Instance> {
-        self.runs
-            .iter()
-            .filter(|r| r.outcome().is_succeed())
-            .map(|r| &r.instance)
+        self.succeed_bits.ones().map(|i| &self.runs[i].instance)
+    }
+
+    /// Number of failing runs (one popcount pass; no iteration).
+    pub fn num_failing(&self) -> usize {
+        self.fail_bits.count()
+    }
+
+    /// Number of succeeding runs (one popcount pass; no iteration).
+    pub fn num_succeeding(&self) -> usize {
+        self.succeed_bits.count()
     }
 
     /// The first failing instance, if any — the `CP_f` Stacked Shortcut picks
@@ -174,46 +457,46 @@ impl ProvenanceStore {
     /// fails (paper §4.1: "take an instance that differs in as many
     /// parameter-values as possible"). Ties break to the earliest run.
     pub fn most_different_success(&self, from: &Instance) -> Option<&Instance> {
-        self.succeeding()
-            .map(|g| (g.hamming_distance(from), g))
-            .max_by(|(da, a), (db, b)| {
-                // max_by keeps the *last* maximal element; order by distance
-                // then by reverse recording order so the earliest run wins ties.
-                da.cmp(db).then_with(|| {
-                    let ia = self.by_instance[*a];
-                    let ib = self.by_instance[*b];
-                    ib.cmp(&ia)
-                })
-            })
-            .map(|(_, g)| g)
+        let mut best: Option<(usize, &Instance)> = None;
+        // Recording order + strict improvement ⇒ the earliest run wins ties.
+        for g in self.succeeding() {
+            let d = g.hamming_distance(from);
+            if best.is_none_or(|(bd, _)| d > bd) {
+                best = Some((d, g));
+            }
+        }
+        best.map(|(_, g)| g)
     }
 
     /// The Shortcut sanity check (Algorithm 1, final loop): is there a
     /// *succeeding* run whose parameter-values are a superset of the
     /// hypothetical root cause `D`? If so, `D` is not definitive.
+    /// One bitset intersection over the log.
     pub fn succeeding_superset_exists(&self, cause: &Conjunction) -> bool {
-        self.succeeding().any(|g| cause.satisfied_by(g))
+        self.satisfying_set(cause).intersects(&self.succeed_bits)
     }
 
-    /// Instances in the history satisfying a conjunction, with outcomes.
+    /// Instances in the history satisfying a conjunction, with outcomes —
+    /// driven by the bitset index, yielded in recording order.
     pub fn satisfying_runs<'a>(
         &'a self,
         cause: &'a Conjunction,
     ) -> impl Iterator<Item = &'a Run> + 'a {
-        self.runs.iter().filter(|r| cause.satisfied_by(&r.instance))
+        self.satisfying_set(cause)
+            .ones()
+            .map(|i| &self.runs[i])
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
-    /// Counts `(failing, succeeding)` runs satisfying a conjunction.
+    /// Counts `(failing, succeeding)` runs satisfying a conjunction: an
+    /// AND + popcount over the bitset index instead of a log scan.
     pub fn support(&self, cause: &Conjunction) -> (usize, usize) {
-        let mut fail = 0;
-        let mut succeed = 0;
-        for r in self.satisfying_runs(cause) {
-            match r.outcome() {
-                Outcome::Fail => fail += 1,
-                Outcome::Succeed => succeed += 1,
-            }
-        }
-        (fail, succeed)
+        let sat = self.satisfying_set(cause);
+        (
+            sat.intersection_count(&self.fail_bits),
+            sat.intersection_count(&self.succeed_bits),
+        )
     }
 
     /// Parses a history from the TSV layout produced by [`Self::to_tsv`]
@@ -249,20 +532,19 @@ impl ProvenanceStore {
                     found: cells.len(),
                 });
             }
-            let mut values = Vec::with_capacity(space.len());
+            let mut indices = Vec::with_capacity(space.len());
             for (p, cell) in space.ids().zip(cells.iter()) {
                 let domain = space.domain(p);
-                let value = domain
+                let idx = domain
                     .values()
                     .iter()
-                    .find(|v| v.to_string() == *cell)
-                    .cloned()
+                    .position(|v| v.to_string() == *cell)
                     .ok_or_else(|| TsvError::Value {
                         line: line_no + 1,
                         param: space.param(p).name().to_string(),
                         cell: cell.to_string(),
                     })?;
-                values.push(value);
+                indices.push(idx as u32);
             }
             let score = match cells[space.len()] {
                 "-" => None,
@@ -281,7 +563,10 @@ impl ProvenanceStore {
                     })
                 }
             };
-            store.record(Instance::new(values), EvalResult { outcome, score });
+            store.record(
+                space.instance_from_indices(&indices),
+                EvalResult { outcome, score },
+            );
         }
         Ok(store)
     }

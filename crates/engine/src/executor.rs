@@ -14,13 +14,42 @@
 //! * batches run on a worker pool (real threads via crossbeam), and a
 //!   **virtual clock** accumulates the schedule makespan at the configured
 //!   worker count, which is what the scalability study measures (§5.2).
+//!
+//! # Concurrency layout
+//!
+//! The executor is built so cache hits — by far the most frequent operation
+//! the search layers issue — never serialize behind a global lock:
+//!
+//! * a **sharded read cache** maps dense instance keys to outcomes across
+//!   [`CACHE_SHARDS`] independently locked shards (readers of different
+//!   shards never touch the same lock, and shard write locks are held only
+//!   for the instant a new result is published);
+//! * the full [`ProvenanceStore`] sits behind one `RwLock`, write-locked only
+//!   to record new executions (and read-locked for snapshot/queries and for
+//!   the rare instance that has no dense key);
+//! * statistics are individual atomics ([`Ordering::SeqCst`] reservations for
+//!   the budget, relaxed counters elsewhere), so `stats()` never blocks the
+//!   workers.
+//!
+//! Budget accounting stays exact under concurrency: a new execution
+//! *reserves* its budget slot with a compare-and-swap before running, releases
+//! it if the pipeline is unavailable, and reclassifies itself as a cache hit
+//! if another worker recorded the same instance first (the determinism
+//! guarantee makes the two results interchangeable), so
+//! `new_executions == provenance.len() - seeded` always holds.
 
 use crate::pipeline::{Pipeline, PipelineError, SimTime};
-use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, ProvenanceStore, Run};
-use parking_lot::Mutex;
+use bugdoc_core::{
+    hash_dense_key, EvalResult, Instance, Outcome, ParamSpace, ProvenanceStore, Run,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Number of read-cache shards (power of two; see the module docs).
+pub const CACHE_SHARDS: usize = 16;
 
 /// Why the executor could not evaluate an instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,30 +107,140 @@ pub struct ExecStats {
     pub sim_time: SimTime,
 }
 
-struct Inner {
-    provenance: ProvenanceStore,
-    stats: ExecStats,
+/// Pass-through hasher for keys that are already FxHash fingerprints.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher is only fed u64 fingerprints");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type IdentityBuild = std::hash::BuildHasherDefault<IdentityHasher>;
+
+/// One cache shard, padded to its own cache line so shard locks and hit
+/// counters on different shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct CacheShard {
+    /// Fingerprint → (verified key, outcome). The stored key disambiguates
+    /// the (astronomically rare) fingerprint collision: a mismatch reads as
+    /// a cache miss, and the provenance store's own dedup keeps accounting
+    /// exact if the instance is then re-executed.
+    map: RwLock<HashMap<u64, (Box<[u32]>, Outcome), IdentityBuild>>,
+    /// Cache hits served by this shard (summed into [`ExecStats`]).
+    hits: AtomicUsize,
+}
+
+/// The sharded dense-key → outcome read cache (see the module docs).
+struct ReadCache {
+    shards: Vec<CacheShard>,
+}
+
+impl ReadCache {
+    fn new() -> Self {
+        ReadCache {
+            shards: (0..CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
+        }
+    }
+
+    /// Shard selection uses the fingerprint's *high* bits; the map's bucket
+    /// index uses the low bits, so the two stay independent. The shift is
+    /// derived from `CACHE_SHARDS` so resizing the shard count keeps every
+    /// shard reachable.
+    #[inline]
+    fn shard(&self, fp: u64) -> &CacheShard {
+        const _: () = assert!(CACHE_SHARDS.is_power_of_two());
+        &self.shards[(fp >> (64 - CACHE_SHARDS.trailing_zeros())) as usize & (CACHE_SHARDS - 1)]
+    }
+
+    /// Looks a key up by its precomputed fingerprint and, on a hit, counts
+    /// it on the shard's local counter.
+    #[inline]
+    fn get_counted(&self, fp: u64, key: &[u32]) -> Option<Outcome> {
+        let shard = self.shard(fp);
+        let hit = match shard.map.read().get(&fp) {
+            Some((stored, outcome)) if stored.as_ref() == key => Some(*outcome),
+            _ => None,
+        };
+        if hit.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert(&self, fp: u64, key: Box<[u32]>, outcome: Outcome) {
+        self.shard(fp).map.write().insert(fp, (key, outcome));
+    }
+
+    fn hits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Lock-free execution statistics (assembled into [`ExecStats`] on demand).
+#[derive(Default)]
+struct AtomicStats {
+    new_executions: AtomicUsize,
+    cache_hits: AtomicUsize,
+    unavailable: AtomicUsize,
+    budget_refusals: AtomicUsize,
+    /// Virtual-clock seconds, stored as `f64` bits.
+    sim_time_bits: AtomicU64,
+}
+
+impl AtomicStats {
+    fn add_sim_time(&self, t: SimTime) {
+        let _ = self
+            .sim_time_bits
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |bits| {
+                Some((f64::from_bits(bits) + t.secs()).to_bits())
+            });
+    }
+
+    /// Snapshot; `shard_hits` is the sum of the read cache's per-shard
+    /// counters (keyed cache hits are counted at the shard they touch).
+    fn snapshot(&self, shard_hits: usize) -> ExecStats {
+        ExecStats {
+            new_executions: self.new_executions.load(Ordering::SeqCst),
+            cache_hits: self.cache_hits.load(Ordering::SeqCst) + shard_hits,
+            unavailable: self.unavailable.load(Ordering::SeqCst),
+            budget_refusals: self.budget_refusals.load(Ordering::SeqCst),
+            sim_time: SimTime::from_secs(f64::from_bits(
+                self.sim_time_bits.load(Ordering::SeqCst),
+            )),
+        }
+    }
 }
 
 /// The caching, budgeted, parallel instance dispatcher.
 pub struct Executor {
     pipeline: Arc<dyn Pipeline>,
     config: ExecutorConfig,
-    inner: Mutex<Inner>,
+    provenance: RwLock<ProvenanceStore>,
+    cache: ReadCache,
+    stats: AtomicStats,
 }
 
 impl Executor {
     /// Creates an executor with an empty history.
     pub fn new(pipeline: Arc<dyn Pipeline>, config: ExecutorConfig) -> Self {
         let provenance = ProvenanceStore::new(pipeline.space().clone());
-        Executor {
-            pipeline,
-            config,
-            inner: Mutex::new(Inner {
-                provenance,
-                stats: ExecStats::default(),
-            }),
-        }
+        Executor::with_provenance(pipeline, config, provenance)
     }
 
     /// Creates an executor pre-seeded with previously-run instances. Seeded
@@ -111,13 +250,28 @@ impl Executor {
         config: ExecutorConfig,
         provenance: ProvenanceStore,
     ) -> Self {
+        let cache = ReadCache::new();
+        let space = pipeline.space().clone();
+        for run in provenance.runs() {
+            let key: Option<Box<[u32]>> = run
+                .instance
+                .dense_key()
+                .map(Into::into)
+                .or_else(|| space.encode(&run.instance));
+            if let Some(key) = key {
+                let fp = run
+                    .instance
+                    .dense_fingerprint()
+                    .unwrap_or_else(|| hash_dense_key(&key));
+                cache.insert(fp, key, run.outcome());
+            }
+        }
         Executor {
             pipeline,
             config,
-            inner: Mutex::new(Inner {
-                provenance,
-                stats: ExecStats::default(),
-            }),
+            provenance: RwLock::new(provenance),
+            cache,
+            stats: AtomicStats::default(),
         }
     }
 
@@ -141,57 +295,130 @@ impl Executor {
     pub fn remaining_budget(&self) -> Option<usize> {
         self.config
             .budget
-            .map(|b| b.saturating_sub(self.inner.lock().stats.new_executions))
+            .map(|b| b.saturating_sub(self.stats.new_executions.load(Ordering::SeqCst)))
     }
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> ExecStats {
-        self.inner.lock().stats
+        self.stats.snapshot(self.cache.hits())
     }
 
     /// A snapshot of the current provenance.
     pub fn provenance(&self) -> ProvenanceStore {
-        self.inner.lock().provenance.clone()
+        self.provenance.read().clone()
     }
 
     /// Runs a closure against the live provenance without cloning it.
+    ///
+    /// The closure holds a read lock: it may query freely but must not call
+    /// back into `evaluate`/`evaluate_batch` (which may need the write lock).
     pub fn with_provenance_ref<R>(&self, f: impl FnOnce(&ProvenanceStore) -> R) -> R {
-        f(&self.inner.lock().provenance)
+        f(&self.provenance.read())
+    }
+
+    /// The probe key for an instance: its cached dense key, or a fresh
+    /// encoding against the pipeline's space.
+    #[inline]
+    fn key_for(&self, instance: &Instance) -> Option<Box<[u32]>> {
+        instance
+            .dense_key()
+            .map(Into::into)
+            .or_else(|| self.pipeline.space().encode(instance))
+    }
+
+    /// Reserves one budget slot. Returns `false` when the budget is already
+    /// fully reserved.
+    fn try_reserve(&self) -> bool {
+        match self.config.budget {
+            None => {
+                self.stats.new_executions.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Some(budget) => self
+                .stats
+                .new_executions
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < budget).then_some(n + 1)
+                })
+                .is_ok(),
+        }
+    }
+
+    /// Releases a reserved slot (pipeline unavailable).
+    fn release_slot(&self) {
+        self.stats.new_executions.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Reclassifies a reserved slot as a cache hit: another worker recorded
+    /// the same instance while this one was executing it.
+    fn reclassify_as_hit(&self) {
+        self.stats.new_executions.fetch_sub(1, Ordering::SeqCst);
+        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache probe, counting the hit where it is found: on the shard's local
+    /// counter for keyed probes, on the residual counter for key-less ones.
+    #[inline]
+    fn probe_counted(&self, instance: &Instance, key: Option<(u64, &[u32])>) -> Option<Outcome> {
+        match key {
+            Some((fp, k)) => self.cache.get_counted(fp, k),
+            None => {
+                let hit = self.provenance.read().lookup(instance).map(|e| e.outcome);
+                if hit.is_some() {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                hit
+            }
+        }
     }
 
     /// Evaluates one instance: provenance hit if known, otherwise a budgeted
     /// execution. Advances the virtual clock by the instance cost (a single
     /// evaluation cannot be overlapped with anything).
     pub fn evaluate(&self, instance: &Instance) -> Result<Outcome, ExecError> {
-        {
-            let mut inner = self.inner.lock();
-            if let Some(eval) = inner.provenance.lookup(instance) {
-                let outcome = eval.outcome;
-                inner.stats.cache_hits += 1;
-                return Ok(outcome);
-            }
-            if let Some(budget) = self.config.budget {
-                if inner.stats.new_executions >= budget {
-                    inner.stats.budget_refusals += 1;
-                    return Err(ExecError::BudgetExhausted);
-                }
-            }
-            // Reserve the budget slot before releasing the lock so concurrent
-            // callers cannot overrun it; the slot is released on failure.
-            inner.stats.new_executions += 1;
+        // Borrow the instance's own dense key when it carries one: the
+        // cache-hit path then allocates nothing. Encoding is needed only for
+        // key-less probes, and boxing only when a new result is published.
+        let encoded: Option<Box<[u32]>> = if instance.dense_key().is_some() {
+            None
+        } else {
+            self.pipeline.space().encode(instance)
+        };
+        let key: Option<(u64, &[u32])> = match (instance.dense_key(), &encoded) {
+            (Some(k), _) => Some((
+                instance
+                    .dense_fingerprint()
+                    .expect("fingerprint accompanies the dense key"),
+                k,
+            )),
+            (None, Some(k)) => Some((hash_dense_key(k), k)),
+            (None, None) => None,
+        };
+        if let Some(outcome) = self.probe_counted(instance, key) {
+            return Ok(outcome);
+        }
+        if !self.try_reserve() {
+            self.stats.budget_refusals.fetch_add(1, Ordering::Relaxed);
+            return Err(ExecError::BudgetExhausted);
         }
         let result = self.pipeline.execute(instance);
         let cost = self.pipeline.cost(instance);
-        let mut inner = self.inner.lock();
         match result {
             Ok(eval) => {
-                inner.provenance.record(instance.clone(), eval);
-                inner.stats.sim_time += cost;
+                let fresh = self.provenance.write().record(instance.clone(), eval);
+                if fresh {
+                    self.stats.add_sim_time(cost);
+                    if let Some((fp, k)) = key {
+                        self.cache.insert(fp, k.into(), eval.outcome);
+                    }
+                } else {
+                    self.reclassify_as_hit();
+                }
                 Ok(eval.outcome)
             }
             Err(PipelineError::Unavailable) => {
-                inner.stats.new_executions -= 1;
-                inner.stats.unavailable += 1;
+                self.release_slot();
+                self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
                 Err(ExecError::Unavailable)
             }
         }
@@ -209,37 +436,56 @@ impl Executor {
     /// the paper's Figure 6 tracks as core counts grow.
     pub fn evaluate_batch(&self, instances: &[Instance]) -> Vec<Result<Outcome, ExecError>> {
         let mut results: Vec<Option<Result<Outcome, ExecError>>> = vec![None; instances.len()];
+        // Like `evaluate`, borrow each instance's own dense key; only
+        // instances without one get a freshly encoded (owned) key. Pure
+        // cache-hit probes therefore allocate nothing.
+        let space = self.pipeline.space();
+        let encoded: Vec<Option<Box<[u32]>>> = instances
+            .iter()
+            .map(|i| {
+                if i.dense_key().is_some() {
+                    None
+                } else {
+                    space.encode(i)
+                }
+            })
+            .collect();
+        let keys: Vec<Option<(u64, &[u32])>> = instances
+            .iter()
+            .zip(&encoded)
+            .map(|(i, enc)| match (i.dense_key(), enc) {
+                (Some(k), _) => Some((
+                    i.dense_fingerprint()
+                        .expect("fingerprint accompanies the dense key"),
+                    k,
+                )),
+                (None, Some(k)) => Some((hash_dense_key(k), k.as_ref())),
+                (None, None) => None,
+            })
+            .collect();
         // Positions in the batch that need execution, deduplicated: the first
         // occurrence executes; later duplicates copy its result.
         let mut to_run: Vec<usize> = Vec::new();
         let mut first_occurrence: std::collections::HashMap<&Instance, usize> =
             std::collections::HashMap::new();
 
-        {
-            let mut inner = self.inner.lock();
-            for (i, instance) in instances.iter().enumerate() {
-                if let Some(eval) = inner.provenance.lookup(instance) {
-                    let outcome = eval.outcome;
-                    inner.stats.cache_hits += 1;
-                    results[i] = Some(Ok(outcome));
-                    continue;
-                }
-                if first_occurrence.contains_key(instance) {
-                    continue; // duplicate of an earlier new instance
-                }
-                let within_budget = match self.config.budget {
-                    Some(budget) => inner.stats.new_executions < budget,
-                    None => true,
-                };
-                if within_budget {
-                    inner.stats.new_executions += 1;
-                    first_occurrence.insert(instance, i);
-                    to_run.push(i);
-                } else {
-                    inner.stats.budget_refusals += 1;
-                    results[i] = Some(Err(ExecError::BudgetExhausted));
-                    first_occurrence.insert(instance, i);
-                }
+        // Probe phase: sharded cache reads plus budget reservations, in input
+        // order — no exclusive lock anywhere.
+        for (i, instance) in instances.iter().enumerate() {
+            if let Some(outcome) = self.probe_counted(instance, keys[i]) {
+                results[i] = Some(Ok(outcome));
+                continue;
+            }
+            if first_occurrence.contains_key(instance) {
+                continue; // duplicate of an earlier new instance
+            }
+            if self.try_reserve() {
+                first_occurrence.insert(instance, i);
+                to_run.push(i);
+            } else {
+                self.stats.budget_refusals.fetch_add(1, Ordering::Relaxed);
+                results[i] = Some(Err(ExecError::BudgetExhausted));
+                first_occurrence.insert(instance, i);
             }
         }
 
@@ -275,27 +521,35 @@ impl Executor {
         // Record results, settle the virtual clock, fill duplicates. Sorting
         // by batch position keeps the provenance order (and the greedy
         // scheduler's job order) deterministic regardless of which worker
-        // finished first.
+        // finished first. This is the only phase holding the write lock.
         {
             let mut outcomes = outcomes;
             outcomes.sort_by_key(|(pos, _, _)| *pos);
-            let mut inner = self.inner.lock();
             let mut executed_costs: Vec<SimTime> = Vec::with_capacity(outcomes.len());
+            let mut prov = self.provenance.write();
             for (pos, res, cost) in outcomes {
                 match res {
                     Ok(eval) => {
-                        inner.provenance.record(instances[pos].clone(), eval);
-                        executed_costs.push(cost);
+                        if prov.record(instances[pos].clone(), eval) {
+                            executed_costs.push(cost);
+                            if let Some((fp, k)) = keys[pos] {
+                                self.cache.insert(fp, k.into(), eval.outcome);
+                            }
+                        } else {
+                            self.reclassify_as_hit();
+                        }
                         results[pos] = Some(Ok(eval.outcome));
                     }
                     Err(PipelineError::Unavailable) => {
-                        inner.stats.new_executions -= 1;
-                        inner.stats.unavailable += 1;
+                        self.release_slot();
+                        self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
                         results[pos] = Some(Err(ExecError::Unavailable));
                     }
                 }
             }
-            inner.stats.sim_time += makespan(&executed_costs, self.config.workers.max(1));
+            drop(prov);
+            self.stats
+                .add_sim_time(makespan(&executed_costs, self.config.workers.max(1)));
             for (i, instance) in instances.iter().enumerate() {
                 if results[i].is_none() {
                     let first = first_occurrence[instance];
@@ -313,12 +567,21 @@ impl Executor {
 
     /// Records an externally-obtained evaluation (e.g. seeding mid-run).
     pub fn record_external(&self, instance: Instance, eval: EvalResult) {
-        self.inner.lock().provenance.record(instance, eval);
+        let key = self.key_for(&instance);
+        let fp = instance
+            .dense_fingerprint()
+            .or_else(|| key.as_deref().map(hash_dense_key));
+        let fresh = self.provenance.write().record(instance, eval);
+        if fresh {
+            if let (Some(k), Some(fp)) = (key, fp) {
+                self.cache.insert(fp, k, eval.outcome);
+            }
+        }
     }
 
     /// Convenience: all runs recorded so far.
     pub fn runs(&self) -> Vec<Run> {
-        self.inner.lock().provenance.runs().to_vec()
+        self.provenance.read().runs().to_vec()
     }
 }
 

@@ -1,0 +1,254 @@
+//! Concurrency stress tests for the executor: accounting invariants, budget
+//! enforcement, and outcome determinism must hold when `evaluate` and
+//! `evaluate_batch` are driven from many threads at once.
+//!
+//! The invariants (see the executor's module docs):
+//! * `new_executions == provenance.len() - seeded` — every recorded run is
+//!   counted exactly once, even when two workers race on the same instance;
+//! * `new_executions ≤ budget` — reservations never overrun;
+//! * `cache_hits + new_executions + budget_refusals + unavailable == calls` —
+//!   every request is classified exactly once;
+//! * outcomes are deterministic per instance across all threads.
+
+use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, ProvenanceStore, Value};
+use bugdoc_engine::{ExecError, Executor, ExecutorConfig, FnPipeline, Pipeline};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn space() -> Arc<ParamSpace> {
+    ParamSpace::builder()
+        .ordinal("a", (0..8).collect::<Vec<_>>())
+        .ordinal("b", (0..8).collect::<Vec<_>>())
+        .build()
+}
+
+fn pipeline(s: &Arc<ParamSpace>) -> Arc<dyn Pipeline> {
+    let a = s.by_name("a").unwrap();
+    Arc::new(FnPipeline::new(s.clone(), move |i: &Instance| {
+        EvalResult::of(Outcome::from_check(i.get(a) != &Value::from(3)))
+    }))
+}
+
+fn expected_outcome(s: &ParamSpace, inst: &Instance) -> Outcome {
+    let a = s.by_name("a").unwrap();
+    Outcome::from_check(inst.get(a) != &Value::from(3))
+}
+
+/// A deterministic pseudo-random instance pool with plenty of duplicates.
+fn instance_pool(s: &ParamSpace, n: usize) -> Vec<Instance> {
+    (0..n)
+        .map(|k| {
+            let mix = (k as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+            Instance::from_pairs(
+                s,
+                [
+                    ("a", Value::from((mix % 8) as i64)),
+                    ("b", Value::from((mix / 8 % 8) as i64)),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_evaluate_holds_invariants_under_budget() {
+    for budget in [0usize, 3, 17, 1000] {
+        let s = space();
+        let exec = Executor::new(
+            pipeline(&s),
+            ExecutorConfig {
+                workers: 4,
+                budget: Some(budget),
+            },
+        );
+        let pool = instance_pool(&s, 400);
+        let calls = AtomicUsize::new(0);
+        let refusals = AtomicUsize::new(0);
+        let observed: Mutex<HashMap<Instance, Outcome>> = Mutex::new(HashMap::new());
+
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let exec = &exec;
+                let pool = &pool;
+                let s = &s;
+                let calls = &calls;
+                let refusals = &refusals;
+                let observed = &observed;
+                scope.spawn(move || {
+                    for k in 0..pool.len() / 2 {
+                        let inst = &pool[(t * 37 + k * 3) % pool.len()];
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        match exec.evaluate(inst) {
+                            Ok(outcome) => {
+                                assert_eq!(outcome, expected_outcome(s, inst));
+                                let mut seen = observed.lock().unwrap();
+                                if let Some(prev) = seen.insert(inst.clone(), outcome) {
+                                    assert_eq!(prev, outcome, "non-deterministic outcome");
+                                }
+                            }
+                            Err(ExecError::BudgetExhausted) => {
+                                refusals.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(ExecError::Unavailable) => unreachable!(),
+                        }
+                    }
+                });
+            }
+        });
+
+        let stats = exec.stats();
+        let prov = exec.provenance();
+        assert!(
+            stats.new_executions <= budget,
+            "budget {budget} overrun: {}",
+            stats.new_executions
+        );
+        assert_eq!(
+            stats.new_executions,
+            prov.len(),
+            "every recorded run counted exactly once (budget {budget})"
+        );
+        assert_eq!(stats.budget_refusals, refusals.load(Ordering::SeqCst));
+        assert_eq!(
+            stats.cache_hits + stats.new_executions + stats.budget_refusals,
+            calls.load(Ordering::SeqCst),
+            "every call classified exactly once (budget {budget})"
+        );
+        // Everything answered agrees with the recorded provenance.
+        for (inst, outcome) in observed.into_inner().unwrap() {
+            assert_eq!(prov.outcome_of(&inst), Some(outcome));
+        }
+    }
+}
+
+#[test]
+fn concurrent_batches_hold_invariants() {
+    let s = space();
+    let budget = 40usize;
+    let exec = Executor::new(
+        pipeline(&s),
+        ExecutorConfig {
+            workers: 3,
+            budget: Some(budget),
+        },
+    );
+    let pool = instance_pool(&s, 300);
+    let calls = AtomicUsize::new(0);
+    let refusals = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..5 {
+            let exec = &exec;
+            let pool = &pool;
+            let s = &s;
+            let calls = &calls;
+            let refusals = &refusals;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let start = (t * 53 + round * 17) % (pool.len() - 24);
+                    let batch = &pool[start..start + 24];
+                    calls.fetch_add(batch.len(), Ordering::SeqCst);
+                    let results = exec.evaluate_batch(batch);
+                    assert_eq!(results.len(), batch.len());
+                    for (inst, res) in batch.iter().zip(&results) {
+                        match res {
+                            Ok(outcome) => assert_eq!(*outcome, expected_outcome(s, inst)),
+                            Err(ExecError::BudgetExhausted) => {
+                                refusals.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(ExecError::Unavailable) => unreachable!(),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = exec.stats();
+    let prov = exec.provenance();
+    assert!(stats.new_executions <= budget);
+    assert_eq!(stats.new_executions, prov.len());
+    assert_eq!(stats.budget_refusals, refusals.load(Ordering::SeqCst));
+    assert_eq!(
+        stats.cache_hits + stats.new_executions + stats.budget_refusals,
+        calls.load(Ordering::SeqCst)
+    );
+}
+
+/// Unbudgeted concurrent execution converges to exactly the sequential
+/// provenance: same instance set, same outcomes.
+#[test]
+fn concurrent_and_sequential_provenance_agree() {
+    let s = space();
+    let pool = instance_pool(&s, 200);
+
+    let seq = Executor::new(pipeline(&s), ExecutorConfig::default());
+    for inst in &pool {
+        seq.evaluate(inst).unwrap();
+    }
+    let seq_prov = seq.provenance();
+
+    let par = Executor::new(pipeline(&s), ExecutorConfig::default());
+    std::thread::scope(|scope| {
+        for chunk in pool.chunks(25) {
+            let par = &par;
+            scope.spawn(move || {
+                for inst in chunk {
+                    par.evaluate(inst).unwrap();
+                }
+            });
+        }
+    });
+    let par_prov = par.provenance();
+
+    assert_eq!(seq_prov.len(), par_prov.len());
+    for run in seq_prov.runs() {
+        assert_eq!(
+            par_prov.outcome_of(&run.instance),
+            Some(run.outcome()),
+            "disagreement on {}",
+            run.instance.display(&s)
+        );
+    }
+    assert_eq!(par.stats().new_executions, par_prov.len());
+}
+
+/// Seeded provenance is visible to every thread from the start and stays
+/// free: zero budget, all answered.
+#[test]
+fn seeded_history_served_concurrently_with_zero_budget() {
+    let s = space();
+    let pool = instance_pool(&s, 100);
+    let mut prov = ProvenanceStore::new(s.clone());
+    for inst in &pool {
+        prov.record(inst.clone(), EvalResult::of(expected_outcome(&s, inst)));
+    }
+    let seeded = prov.len();
+    let exec = Executor::with_provenance(
+        pipeline(&s),
+        ExecutorConfig {
+            workers: 4,
+            budget: Some(0),
+        },
+        prov,
+    );
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let exec = &exec;
+            let pool = &pool;
+            let s = &s;
+            scope.spawn(move || {
+                for k in 0..200 {
+                    let inst = &pool[(t + k * 7) % pool.len()];
+                    assert_eq!(exec.evaluate(inst), Ok(expected_outcome(s, inst)));
+                }
+            });
+        }
+    });
+    let stats = exec.stats();
+    assert_eq!(stats.new_executions, 0);
+    assert_eq!(stats.budget_refusals, 0);
+    assert_eq!(stats.cache_hits, 6 * 200);
+    assert_eq!(exec.provenance().len(), seeded);
+}

@@ -276,7 +276,7 @@ fn plant_causes(
                 .map(|p| {
                     let domain = space.domain(p);
                     let v = domain.value(rng.gen_range(0..domain.len())).clone();
-                    let cmp = Comparator::ALL[rng.gen_range(0..4)];
+                    let cmp = Comparator::ALL[rng.gen_range(0..4usize)];
                     Predicate::new(p, cmp, v)
                 })
                 .collect();

@@ -263,8 +263,8 @@ fn sample_predicate(space: &ParamSpace, p: ParamId, rng: &mut StdRng) -> Predica
     let domain = space.domain(p);
     let value = domain.value(rng.gen_range(0..domain.len())).clone();
     let cmp = match domain.kind() {
-        DomainKind::Ordinal => Comparator::ALL[rng.gen_range(0..4)],
-        DomainKind::Categorical => Comparator::CATEGORICAL[rng.gen_range(0..2)],
+        DomainKind::Ordinal => Comparator::ALL[rng.gen_range(0..4usize)],
+        DomainKind::Categorical => Comparator::CATEGORICAL[rng.gen_range(0..2usize)],
     };
     Predicate::new(p, cmp, value)
 }

@@ -14,7 +14,7 @@
 //!   to one planted conjunct — see the proof sketch in `DESIGN.md` §8 — so
 //!   `R(CP)` is simply their canonical forms.
 
-use bugdoc_core::{CanonicalCause, Conjunction, Dnf, Instance, ParamSpace, Value};
+use bugdoc_core::{CanonicalCause, Conjunction, Dnf, Instance, ParamSpace};
 use bugdoc_qm::cause_covered_by;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -248,20 +248,18 @@ fn solve_avoid(
 }
 
 fn sample_from_masks(space: &ParamSpace, masks: &[Vec<bool>], rng: &mut StdRng) -> Instance {
-    let values: Vec<Value> = space
+    let indices: Vec<u32> = space
         .ids()
         .map(|p| {
-            let pool: Vec<usize> = (0..masks[p.index()].len())
+            let pool: Vec<u32> = (0..masks[p.index()].len())
                 .filter(|&i| masks[p.index()][i])
+                .map(|i| i as u32)
                 .collect();
             assert!(!pool.is_empty(), "solver produced an empty mask");
-            space
-                .domain(p)
-                .value(pool[rng.gen_range(0..pool.len())])
-                .clone()
+            pool[rng.gen_range(0..pool.len())]
         })
         .collect();
-    Instance::new(values)
+    space.instance_from_indices(&indices)
 }
 
 #[cfg(test)]
