@@ -766,6 +766,7 @@ mod tests {
             ExecutorConfig {
                 workers: 2,
                 budget: Some(6),
+                ..Default::default()
             },
         );
         // Seed minimal history inside the budget.

@@ -472,6 +472,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 budget: Some(1),
+                ..Default::default()
             },
             prov,
         );
@@ -542,7 +543,7 @@ mod speculative_tests {
             EvalResult::of(Outcome::from_check(!fail))
         })
         .with_cost(SimTime::from_mins(20.0));
-        Executor::new(Arc::new(pipe), ExecutorConfig { workers, budget: None })
+        Executor::new(Arc::new(pipe), ExecutorConfig { workers, budget: None, ..Default::default() })
     }
 
     fn endpoints(_s: &Arc<ParamSpace>) -> (Instance, Instance) {
@@ -630,6 +631,7 @@ mod speculative_tests {
             ExecutorConfig {
                 workers: 4,
                 budget: Some(5),
+                ..Default::default()
             },
         );
         let report =

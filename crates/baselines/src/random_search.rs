@@ -80,6 +80,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 budget: Some(3),
+                ..Default::default()
             },
         );
         assert_eq!(generate(&exec, 10, 1), 3);

@@ -244,7 +244,7 @@ mod tests {
         let pipe: Arc<dyn Pipeline> = Arc::new(FnPipeline::new(s.clone(), move |i: &Instance| {
             EvalResult::of(Outcome::from_check(!fail_if(i)))
         }));
-        Executor::new(pipe, ExecutorConfig { workers: 2, budget })
+        Executor::new(pipe, ExecutorConfig { workers: 2, budget, ..Default::default() })
     }
 
     #[test]

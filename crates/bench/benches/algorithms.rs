@@ -25,6 +25,7 @@ fn build_executor(pipe: &Arc<SyntheticPipeline>) -> Executor {
         ExecutorConfig {
             workers: 4,
             budget: None,
+            ..Default::default()
         },
         prov,
     )

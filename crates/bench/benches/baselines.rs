@@ -59,6 +59,7 @@ fn bench_baselines(c: &mut Criterion) {
                             ExecutorConfig {
                                 workers: 1,
                                 budget: None,
+                                ..Default::default()
                             },
                             prov.clone(),
                         )

@@ -78,6 +78,7 @@ fn bench_engine(c: &mut Criterion) {
                             ExecutorConfig {
                                 workers,
                                 budget: None,
+                                ..Default::default()
                             },
                         )
                     },
@@ -101,6 +102,7 @@ criterion_group!(
     benches,
     bench_engine,
     bugdoc_bench::perf::bench_hot_paths,
+    bugdoc_bench::perf::bench_bounded_cache,
     bugdoc_bench::perf::bench_ddt_end_to_end
 );
 criterion_main!(benches);

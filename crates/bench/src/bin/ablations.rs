@@ -55,6 +55,7 @@ fn executor_for(pipe: &Arc<SyntheticPipeline>, seed: u64) -> Executor {
         ExecutorConfig {
             workers: 5,
             budget: None,
+            ..Default::default()
         },
         prov,
     )
@@ -270,6 +271,7 @@ fn ablate_speculation(args: &BenchArgs) {
                 ExecutorConfig {
                     workers,
                     budget: None,
+                    ..Default::default()
                 },
                 prov,
             );

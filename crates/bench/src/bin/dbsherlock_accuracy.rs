@@ -38,6 +38,7 @@ fn main() {
             ExecutorConfig {
                 workers: 5,
                 budget: None,
+                ..Default::default()
             },
             problem.initial_provenance(),
         );

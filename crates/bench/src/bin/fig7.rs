@@ -121,6 +121,7 @@ fn dbsherlock_class(dataset: &DbSherlockDataset, class: usize) -> RealWorldScore
         ExecutorConfig {
             workers: 5,
             budget: None,
+            ..Default::default()
         },
         problem.initial_provenance(),
     );

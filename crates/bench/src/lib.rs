@@ -130,6 +130,7 @@ pub fn seeded_executor(
         ExecutorConfig {
             workers,
             budget: None,
+            ..Default::default()
         },
         prov,
     )

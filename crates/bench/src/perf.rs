@@ -11,7 +11,7 @@ use bugdoc_core::{
     Comparator, Conjunction, EvalResult, Instance, Outcome, ParamSpace, Predicate, ProvenanceStore,
     Value,
 };
-use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, Pipeline};
+use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, MemoryBudget, Pipeline};
 use bugdoc_synth::{CauseScenario, SynthConfig, SyntheticPipeline};
 use criterion::Criterion;
 use rand::rngs::StdRng;
@@ -179,6 +179,7 @@ pub fn bench_hot_paths(c: &mut Criterion) {
                         ExecutorConfig {
                             workers: 5,
                             budget: None,
+                            ..Default::default()
                         },
                     )
                 },
@@ -237,6 +238,72 @@ pub fn bench_hot_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// Registers the memory-bounded cache scenarios on `c` and returns the
+/// measured hit rates:
+///
+/// * `perf/cache_hit_budget_100|50|25` — one `evaluate` against the 10k-run
+///   history while sweeping the whole working set, with the CLOCK cache
+///   budgeted at 100%/50%/25% of it (ns/op; misses re-derive from the
+///   provenance log, so the delta over `cache_hit_10k` is the price of
+///   eviction, not of re-execution);
+/// * the returned `(id, percent)` pairs are the shard-cache hit rates of
+///   each scenario (`perf/cache_hit_rate_pct_*`), for the headless runner to
+///   emit alongside the timings.
+pub fn bench_bounded_cache(c: &mut Criterion) -> Vec<(String, f64)> {
+    let space = perf_space();
+    let all = perf_instances(&space);
+    // A skewed access schedule — 60% of probes from a 1 000-instance hot
+    // set, 40% uniform over all 10 000 (footprint ≈ the full working set) —
+    // the locality real diagnosis loops exhibit. (A pure cyclic sweep is
+    // CLOCK's adversarial case: it evicts exactly what the sweep needs next
+    // and measures nothing but misses; a footprint smaller than the budget
+    // measures nothing but hits.)
+    let schedule: Vec<usize> = {
+        let mut rng = StdRng::seed_from_u64(23);
+        (0..32_768)
+            .map(|_| {
+                if rng.gen_range(0..100) < 60 {
+                    rng.gen_range(0..1_000usize) * 7 % all.len() // hot set
+                } else {
+                    rng.gen_range(0..all.len())
+                }
+            })
+            .collect()
+    };
+    let mut rates = Vec::new();
+    let mut group = c.benchmark_group("perf");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
+    for (pct, budget) in [(100usize, 10_000usize), (50, 5_000), (25, 2_500)] {
+        let exec = Executor::with_provenance(
+            perf_pipeline(&space),
+            ExecutorConfig {
+                workers: 5,
+                budget: None,
+                memory: MemoryBudget::Entries(budget),
+            },
+            provenance_10k(&space),
+        );
+        let mut k = 0usize;
+        group.bench_function(format!("cache_hit_budget_{pct}"), |b| {
+            b.iter(|| {
+                k = (k + 1) % schedule.len();
+                exec.evaluate(&all[schedule[k]]).unwrap()
+            })
+        });
+        let stats = exec.stats();
+        let total = stats.cache_hits.max(1);
+        rates.push((
+            format!("perf/cache_hit_rate_pct_{pct}"),
+            100.0 * (total - stats.log_rederivations) as f64 / total as f64,
+        ));
+    }
+    group.finish();
+    rates
+}
+
 /// Registers the end-to-end DDT benchmark on `c` (`perf/ddt_find_one`), the
 /// algorithm-level integral over all the hot paths above.
 pub fn bench_ddt_end_to_end(c: &mut Criterion) {
@@ -266,6 +333,7 @@ pub fn bench_ddt_end_to_end(c: &mut Criterion) {
                 ExecutorConfig {
                     workers: 4,
                     budget: None,
+                    ..Default::default()
                 },
                 prov,
             );

@@ -74,6 +74,7 @@ The spec file declares parameters, the command template, and the evaluation:
   eval stdout_le 0.15      # or: exit_code | stdout_ge <t>
   workers 5
   budget 200
+  cache_entries 4096       # or: cache_bytes <n> — bound the result cache
 ";
 
 /// Parses argv (without the program name).
@@ -187,6 +188,7 @@ pub fn run(request: Request) -> Result<String, String> {
                 ExecutorConfig {
                     workers: spec.workers,
                     budget: spec.budget,
+                    memory: spec.memory,
                 },
                 prov,
             );

@@ -21,9 +21,12 @@
 //!   parameter is also exported as `BUGDOC_<NAME>`.
 //! * `eval exit_code` | `eval stdout_ge <t>` | `eval stdout_le <t>`.
 //! * `workers <n>` (default 5), `budget <n>` (default unbounded).
+//! * `cache_entries <n>` | `cache_bytes <n>` — bound the executor's
+//!   in-memory result cache (default unbounded); evicted results are
+//!   re-derived from the provenance log, never re-executed.
 
 use bugdoc_core::{ParamSpace, Value};
-use bugdoc_engine::CommandEval;
+use bugdoc_engine::{CommandEval, MemoryBudget};
 use std::fmt;
 use std::sync::Arc;
 
@@ -40,6 +43,8 @@ pub struct Spec {
     pub workers: usize,
     /// Optional new-instance budget.
     pub budget: Option<usize>,
+    /// Bound on the executor's in-memory result cache.
+    pub memory: MemoryBudget,
 }
 
 /// A spec parse error with its 1-based line number.
@@ -95,6 +100,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
     let mut eval: Option<CommandEval> = None;
     let mut workers = 5usize;
     let mut budget: Option<usize> = None;
+    let mut memory = MemoryBudget::Unbounded;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -179,6 +185,22 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
                         .ok_or_else(|| err(line_no, "budget needs an integer"))?,
                 );
             }
+            "cache_entries" => {
+                memory = MemoryBudget::Entries(
+                    rest.first()
+                        .and_then(|t| t.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| err(line_no, "cache_entries needs a positive integer"))?,
+                );
+            }
+            "cache_bytes" => {
+                memory = MemoryBudget::Bytes(
+                    rest.first()
+                        .and_then(|t| t.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| err(line_no, "cache_bytes needs a positive integer"))?,
+                );
+            }
             other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
         }
     }
@@ -194,6 +216,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         eval,
         workers,
         budget,
+        memory,
     })
 }
 
@@ -234,6 +257,23 @@ budget 50
         assert_eq!(spec.workers, 5);
         assert_eq!(spec.budget, None);
         assert_eq!(spec.eval, CommandEval::ExitCode);
+        assert_eq!(spec.memory, MemoryBudget::Unbounded);
+    }
+
+    #[test]
+    fn memory_budget_keywords() {
+        let base = "param a boolean\ncommand prog\neval exit_code\n";
+        let spec = parse_spec(&format!("{base}cache_entries 128\n")).unwrap();
+        assert_eq!(spec.memory, MemoryBudget::Entries(128));
+        let spec = parse_spec(&format!("{base}cache_bytes 65536\n")).unwrap();
+        assert_eq!(spec.memory, MemoryBudget::Bytes(65536));
+        // The last directive wins, matching the other scalar keywords.
+        let spec = parse_spec(&format!("{base}cache_entries 8\ncache_bytes 512\n")).unwrap();
+        assert_eq!(spec.memory, MemoryBudget::Bytes(512));
+        for bad in ["cache_entries 0\n", "cache_entries\n", "cache_bytes x\n"] {
+            let e = parse_spec(&format!("{base}{bad}")).unwrap_err();
+            assert!(e.message.contains("positive integer"), "{bad:?}: {e}");
+        }
     }
 
     #[test]

@@ -102,6 +102,43 @@ impl RunSet {
             .any(|(a, b)| a & b != 0)
     }
 
+    /// ORs `bits` into word `word_idx` (covering runs
+    /// `word_idx*64 .. word_idx*64+64`), growing as needed. This is how the
+    /// provenance store's epoch-segmented query path splices a per-epoch
+    /// word block into a global result set.
+    pub fn or_word(&mut self, word_idx: usize, bits: u64) {
+        if bits == 0 {
+            return;
+        }
+        if word_idx >= self.words.len() {
+            self.words.resize(word_idx + 1, 0);
+        }
+        self.words[word_idx] |= bits;
+    }
+
+    /// Word `word_idx` of the backing storage (0 past the end).
+    pub fn word(&self, word_idx: usize) -> u64 {
+        self.words.get(word_idx).copied().unwrap_or(0)
+    }
+
+    /// The backing words (64 runs per word; the last word may be partial).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs a whole word block in at `word_offset` — one resize and one
+    /// vectorizable pass, where a per-word [`or_word`](Self::or_word) loop
+    /// would pay a growth-and-zero check on every word.
+    pub fn or_words_at(&mut self, word_offset: usize, src: &[u64]) {
+        let end = word_offset + src.len();
+        if end > self.words.len() {
+            self.words.resize(end, 0);
+        }
+        for (d, s) in self.words[word_offset..end].iter_mut().zip(src) {
+            *d |= s;
+        }
+    }
+
     /// Iterates set members in increasing order.
     pub fn ones(&self) -> Ones<'_> {
         Ones {

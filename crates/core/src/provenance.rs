@@ -21,19 +21,31 @@
 //!   [`FxHasher`](crate::FxHasher)) to its run index. Lookup of an instance
 //!   that carries its own key ([`Instance::dense_key`]) hashes a handful of
 //!   `u32`s — no `Value` hashing, no instance cloning.
-//! * **Per-(parameter, value) run bitsets** — `value_bits[offsets[p] + v]` is
-//!   the [`RunSet`] of runs whose parameter `p` takes domain value `v`,
-//!   alongside `fail_bits`/`succeed_bits` for the outcomes. A predicate's
-//!   satisfying runs are the OR of the bitsets of its allowed values; a
+//! * **Epoch-segmented (parameter, value) run bitsets** — the run log is cut
+//!   into fixed-size *epochs* of [`ProvenanceStore::epoch_runs`] runs. Each
+//!   live epoch owns one flat block of bit words: value `(p, v)`'s bits for
+//!   the epoch live at `block[(offsets[p] + v) * epoch_words ..]`. A
+//!   predicate's satisfying runs are the OR of its allowed values' words; a
 //!   conjunction's are the AND across its predicates — so
 //!   [`support`](ProvenanceStore::support),
 //!   [`satisfying_runs`](ProvenanceStore::satisfying_runs), and
 //!   [`succeeding_superset_exists`](ProvenanceStore::succeeding_superset_exists)
 //!   are word-parallel bit operations over the log instead of per-run
-//!   predicate interpretation.
+//!   predicate interpretation, and an epoch whose accumulator goes empty is
+//!   skipped wholesale.
+//! * **Epoch compaction** — [`compact`](ProvenanceStore::compact) (or the
+//!   automatic bound set by
+//!   [`set_index_bound`](ProvenanceStore::set_index_bound)) retires old full
+//!   epochs: their bit blocks are folded into an [`EpochSummary`] of
+//!   per-value and per-outcome *counts*, reclaiming the index memory that
+//!   otherwise grows without bound. Queries stay **exact** after compaction:
+//!   a retired epoch is answered by scanning its dense-key rows in the
+//!   `by_key` arena (which is kept — it is what makes `lookup` exact), with
+//!   the summary counts used to skip epochs that cannot contain a match.
 //! * **Overflow list** — instances whose values fall outside their declared
 //!   domains (possible via the unchecked [`Instance::new`]) cannot be
-//!   encoded; they are tracked in `overflow` and handled by the original
+//!   encoded; they are tracked in `overflow` (plus the `overflow_bits` set,
+//!   so arena scans skip their zero-filled rows) and handled by the original
 //!   interpretive path, so the fast index never changes observable
 //!   semantics.
 
@@ -163,6 +175,30 @@ impl KeyIndex {
     }
 }
 
+/// Default runs per epoch of the segmented value index (see the module docs).
+pub const DEFAULT_EPOCH_RUNS: usize = 4096;
+
+/// The summary a retired epoch's bit block is folded into: exact run counts,
+/// enough to prune queries that cannot match the epoch, while the epoch's
+/// per-run bits are answered from the dense-key arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// Failing runs in the epoch.
+    pub failing: u32,
+    /// Succeeding runs in the epoch.
+    pub succeeding: u32,
+    /// Per-(parameter, value) run counts, in the store's `offsets` layout.
+    value_counts: Box<[u32]>,
+}
+
+impl EpochSummary {
+    /// Runs in the epoch assigning domain value `value_idx` to parameter `p`
+    /// (indexed as `offsets[p] + value_idx`; see [`ProvenanceStore`]).
+    pub fn value_count(&self, flat_value_idx: usize) -> u32 {
+        self.value_counts[flat_value_idx]
+    }
+}
+
 /// One recorded execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Run {
@@ -191,23 +227,56 @@ pub struct ProvenanceStore {
     runs: Vec<Run>,
     /// Dense instance encoding → run index (no instance clone stored).
     by_key: KeyIndex,
-    /// Start of parameter `p`'s slice of `value_bits`.
+    /// Start of parameter `p`'s slice of the flat value index.
     offsets: Vec<u32>,
-    /// `(parameter, value)` → set of runs assigning that value.
-    value_bits: Vec<RunSet>,
+    /// Total `(parameter, value)` slots — `offsets.last() + last domain len`.
+    total_values: u32,
+    /// Runs per epoch (a multiple of 64, so epochs are word-aligned).
+    epoch_runs: usize,
+    /// Words per value per epoch: `epoch_runs / 64`.
+    epoch_words: usize,
+    /// Value-bit blocks of *completed* epochs (`total_values * epoch_words`
+    /// words each, frozen from `current` when the epoch fills); `None` once
+    /// the epoch is retired by compaction.
+    blocks: Vec<Option<Box<[u64]>>>,
+    /// Summary counts of retired epochs (`None` while the block is live).
+    summaries: Vec<Option<EpochSummary>>,
+    /// The in-progress epoch's per-value bitsets, indexed by epoch-relative
+    /// run position. Growable `RunSet`s keep the record path free of bulk
+    /// zeroing; the word capacity is recycled from epoch to epoch.
+    current: Vec<RunSet>,
+    /// When set, `record` retires all but the newest this-many full epochs
+    /// as soon as a new epoch opens.
+    max_live_epochs: Option<usize>,
     /// Runs that failed.
     fail_bits: RunSet,
     /// Runs that succeeded.
     succeed_bits: RunSet,
     /// Runs whose instances could not be densely encoded (out-of-domain
-    /// values); they are absent from `by_key`/`value_bits` and served by the
-    /// interpretive fallback paths.
+    /// values); they are absent from `by_key`/the value index and served by
+    /// the interpretive fallback paths.
     overflow: Vec<u32>,
+    /// Same runs as `overflow`, as a set — arena scans over retired epochs
+    /// use it to skip the zero-filled rows.
+    overflow_bits: RunSet,
 }
 
 impl ProvenanceStore {
-    /// An empty history over a space.
+    /// An empty history over a space, with the default epoch size
+    /// ([`DEFAULT_EPOCH_RUNS`]).
     pub fn new(space: Arc<ParamSpace>) -> Self {
+        ProvenanceStore::with_epoch_size(space, DEFAULT_EPOCH_RUNS)
+    }
+
+    /// An empty history whose value index is segmented into epochs of
+    /// `epoch_runs` runs. `epoch_runs` must be a non-zero multiple of 64
+    /// (epochs are word-aligned). Small epochs make compaction kick in
+    /// earlier at the price of more per-epoch bookkeeping.
+    pub fn with_epoch_size(space: Arc<ParamSpace>, epoch_runs: usize) -> Self {
+        assert!(
+            epoch_runs > 0 && epoch_runs % 64 == 0,
+            "epoch size must be a non-zero multiple of 64, got {epoch_runs}"
+        );
         let mut offsets = Vec::with_capacity(space.len());
         let mut total = 0u32;
         for p in space.ids() {
@@ -220,10 +289,37 @@ impl ProvenanceStore {
             runs: Vec::new(),
             by_key: KeyIndex::new(arity),
             offsets,
-            value_bits: vec![RunSet::new(); total as usize],
+            total_values: total,
+            epoch_runs,
+            epoch_words: epoch_runs / 64,
+            blocks: Vec::new(),
+            summaries: Vec::new(),
+            current: vec![RunSet::new(); total as usize],
+            max_live_epochs: None,
             fail_bits: RunSet::new(),
             succeed_bits: RunSet::new(),
             overflow: Vec::new(),
+            overflow_bits: RunSet::new(),
+        }
+    }
+
+    /// Freezes the just-completed epoch: copies `current`'s per-value
+    /// bitsets into one flat word block (the query fast path), clears
+    /// `current` for the next epoch (keeping word capacity), and applies the
+    /// auto-compaction bound if one is set. Called exactly when
+    /// `runs.len()` reaches an epoch boundary.
+    fn freeze_current_epoch(&mut self) {
+        let w = self.epoch_words;
+        let mut block = vec![0u64; self.total_values as usize * w].into_boxed_slice();
+        for (slot, bits) in self.current.iter_mut().enumerate() {
+            let words = bits.words();
+            block[slot * w..slot * w + words.len()].copy_from_slice(words);
+            bits.clear();
+        }
+        self.blocks.push(Some(block));
+        self.summaries.push(None);
+        if let Some(keep) = self.max_live_epochs {
+            self.compact(keep);
         }
     }
 
@@ -250,29 +346,142 @@ impl ProvenanceStore {
     }
 
     /// The set of runs satisfying `cause`, as a bitset over run indices.
+    ///
+    /// Live epochs are answered by word-parallel AND-of-ORs over their bit
+    /// blocks; retired epochs by scanning their dense-key arena rows against
+    /// per-predicate allowed-value masks (after a summary-count check that
+    /// skips epochs which cannot match). Both paths are exact.
     fn satisfying_set(&self, cause: &Conjunction) -> RunSet {
         if cause.is_empty() {
             return RunSet::full(self.runs.len());
         }
-        let mut acc: Option<RunSet> = None;
-        let mut pred_mask = RunSet::new();
-        for pred in cause.predicates() {
-            let domain = self.space.domain(pred.param);
-            pred_mask.clear();
-            let base = self.offsets[pred.param.index()] as usize;
-            for idx in pred.allowed_indices(domain) {
-                pred_mask.or_assign(&self.value_bits[base + idx]);
+        let mut set = RunSet::new();
+        {
+            // Resolve each predicate once: its flat-index base, its allowed
+            // value indices, and a bitmap of those indices for arena scans.
+            struct PredPlan {
+                base: usize,
+                param: usize,
+                allowed: Vec<usize>,
+                mask: Vec<u64>,
             }
-            match &mut acc {
-                None => acc = Some(pred_mask.clone()),
-                Some(a) => a.and_assign(&pred_mask),
+            // The per-domain value bitmaps only serve the arena-scan path,
+            // so they are built only when some epoch is actually retired.
+            let any_retired = self.summaries.iter().any(Option::is_some);
+            let preds: Vec<PredPlan> = cause
+                .predicates()
+                .iter()
+                .map(|pred| {
+                    let domain = self.space.domain(pred.param);
+                    let allowed = pred.allowed_indices(domain);
+                    let mut mask = if any_retired {
+                        vec![0u64; domain.len().div_ceil(64)]
+                    } else {
+                        Vec::new()
+                    };
+                    if any_retired {
+                        for &vi in &allowed {
+                            mask[vi / 64] |= 1u64 << (vi % 64);
+                        }
+                    }
+                    PredPlan {
+                        base: self.offsets[pred.param.index()] as usize,
+                        param: pred.param.index(),
+                        allowed,
+                        mask,
+                    }
+                })
+                .collect();
+            let w = self.epoch_words;
+            let mut bufs = vec![0u64; 2 * w];
+            let (acc, tmp) = bufs.split_at_mut(w);
+            'epochs: for (e, block) in self.blocks.iter().enumerate() {
+                match block {
+                    Some(words) => {
+                        for (pi, p) in preds.iter().enumerate() {
+                            let dst: &mut [u64] =
+                                if pi == 0 { &mut *acc } else { &mut *tmp };
+                            dst.fill(0);
+                            for &vi in &p.allowed {
+                                let base = (p.base + vi) * w;
+                                let src = &words[base..base + w];
+                                for (d, s) in dst.iter_mut().zip(src) {
+                                    *d |= s;
+                                }
+                            }
+                            if pi > 0 {
+                                for (a, t) in acc.iter_mut().zip(tmp.iter()) {
+                                    *a &= t;
+                                }
+                            }
+                            if acc.iter().all(|&x| x == 0) {
+                                continue 'epochs;
+                            }
+                        }
+                        set.or_words_at(e * w, acc);
+                    }
+                    None => {
+                        let summary =
+                            self.summaries[e].as_ref().expect("retired epoch has a summary");
+                        // A predicate none of whose allowed values occur in
+                        // the epoch rules the whole epoch out.
+                        if preds.iter().any(|p| {
+                            p.allowed
+                                .iter()
+                                .all(|&vi| summary.value_counts[p.base + vi] == 0)
+                        }) {
+                            continue;
+                        }
+                        let start = e * self.epoch_runs;
+                        let end = start + self.epoch_runs;
+                        'rows: for r in start..end {
+                            if self.overflow_bits.contains(r) {
+                                continue;
+                            }
+                            let key = self.by_key.row(r);
+                            for p in &preds {
+                                let vi = key[p.param] as usize;
+                                if p.mask[vi / 64] >> (vi % 64) & 1 == 0 {
+                                    continue 'rows;
+                                }
+                            }
+                            set.insert(r);
+                        }
+                    }
+                }
             }
-            if acc.as_ref().is_some_and(RunSet::is_empty) {
-                break;
+            // The in-progress epoch: the same AND-of-ORs over the growable
+            // per-value bitsets, swept only to the filled word count.
+            let cur_base = self.blocks.len() * self.epoch_runs;
+            let used = (self.runs.len() - cur_base).div_ceil(64);
+            if used > 0 {
+                let mut alive = true;
+                for (pi, p) in preds.iter().enumerate() {
+                    let dst: &mut [u64] = if pi == 0 { &mut *acc } else { &mut *tmp };
+                    dst[..used].fill(0);
+                    for &vi in &p.allowed {
+                        let src = self.current[p.base + vi].words();
+                        let n = src.len().min(used);
+                        for (d, s) in dst[..n].iter_mut().zip(&src[..n]) {
+                            *d |= s;
+                        }
+                    }
+                    if pi > 0 {
+                        for (a, t) in acc[..used].iter_mut().zip(tmp[..used].iter()) {
+                            *a &= t;
+                        }
+                    }
+                    if acc[..used].iter().all(|&x| x == 0) {
+                        alive = false;
+                        break;
+                    }
+                }
+                if alive {
+                    set.or_words_at(cur_base / 64, &acc[..used]);
+                }
             }
         }
-        let mut set = acc.unwrap_or_default();
-        // Unencodable runs never appear in `value_bits`; interpret them.
+        // Unencodable runs never appear in the value index; interpret them.
         for &i in &self.overflow {
             if cause.satisfied_by(&self.runs[i as usize].instance) {
                 set.insert(i as usize);
@@ -327,8 +536,9 @@ impl ProvenanceStore {
         let idx = self.runs.len();
         match key {
             Some(k) => {
+                let in_epoch = idx % self.epoch_runs;
                 for (p, &vi) in k.iter().enumerate() {
-                    self.value_bits[self.offsets[p] as usize + vi as usize].insert(idx);
+                    self.current[self.offsets[p] as usize + vi as usize].insert(in_epoch);
                 }
                 if instance.dense_key().is_none() {
                     instance.set_dense(k.clone());
@@ -338,6 +548,7 @@ impl ProvenanceStore {
             None => {
                 self.by_key.push_overflow_row(idx as u32);
                 self.overflow.push(idx as u32);
+                self.overflow_bits.insert(idx);
             }
         }
         match eval.outcome {
@@ -345,6 +556,9 @@ impl ProvenanceStore {
             Outcome::Succeed => self.succeed_bits.insert(idx),
         }
         self.runs.push(Run { instance, eval });
+        if self.runs.len() % self.epoch_runs == 0 {
+            self.freeze_current_epoch();
+        }
         true
     }
 
@@ -361,6 +575,94 @@ impl ProvenanceStore {
     /// All runs, in recording order.
     pub fn runs(&self) -> &[Run] {
         &self.runs
+    }
+
+    /// Runs per epoch of the segmented value index.
+    pub fn epoch_runs(&self) -> usize {
+        self.epoch_runs
+    }
+
+    /// Number of epochs the log spans (including the in-progress one).
+    pub fn num_epochs(&self) -> usize {
+        self.blocks.len() + usize::from(self.runs.len() % self.epoch_runs != 0)
+    }
+
+    /// Epochs whose bits are live (not yet retired by compaction),
+    /// including the in-progress one.
+    pub fn live_epochs(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+            + usize::from(self.runs.len() % self.epoch_runs != 0)
+    }
+
+    /// Epochs retired into summary counts.
+    pub fn retired_epochs(&self) -> usize {
+        self.summaries.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The summary of a retired epoch (`None` while its block is live).
+    pub fn epoch_summary(&self, epoch: usize) -> Option<&EpochSummary> {
+        self.summaries.get(epoch).and_then(Option::as_ref)
+    }
+
+    /// Approximate heap bytes held by the value index: live bit blocks plus
+    /// retired-epoch summaries plus the outcome/overflow bitsets. (The run
+    /// log and dense-key arena are the ground truth and are not counted —
+    /// they are what compaction keeps.)
+    pub fn index_bytes(&self) -> usize {
+        let block_words = self.total_values as usize * self.epoch_words;
+        let frozen = self.blocks.iter().filter(|b| b.is_some()).count() * block_words * 8;
+        let current: usize = self.current.iter().map(|b| b.words().len() * 8).sum();
+        let retired = self.retired_epochs()
+            * (self.total_values as usize * 4 + std::mem::size_of::<EpochSummary>());
+        let outcome_words = 3 * self.runs.len().div_ceil(64) * 8;
+        frozen + current + retired + outcome_words
+    }
+
+    /// Retires every full epoch except the newest `keep_live`, folding each
+    /// retired epoch's bit block into an [`EpochSummary`] of exact counts.
+    /// The in-progress (partial) epoch is never retired. Queries remain
+    /// exact afterwards (see the module docs); re-recording continues
+    /// normally. Returns the number of epochs retired by this call.
+    pub fn compact(&mut self, keep_live: usize) -> usize {
+        let full = self.runs.len() / self.epoch_runs;
+        let mut retired = 0usize;
+        for e in 0..full.saturating_sub(keep_live) {
+            retired += self.retire_epoch(e) as usize;
+        }
+        retired
+    }
+
+    /// Bounds the live value index: whenever a new epoch opens, all but the
+    /// newest `max_live_epochs` full epochs are retired automatically.
+    /// `None` (the default) never auto-compacts. Takes effect immediately.
+    pub fn set_index_bound(&mut self, max_live_epochs: Option<usize>) {
+        self.max_live_epochs = max_live_epochs;
+        if let Some(keep) = max_live_epochs {
+            self.compact(keep);
+        }
+    }
+
+    /// Folds epoch `e`'s bit block into summary counts. Returns `false` if
+    /// the epoch was already retired.
+    fn retire_epoch(&mut self, e: usize) -> bool {
+        let Some(block) = self.blocks[e].take() else {
+            return false;
+        };
+        let w = self.epoch_words;
+        let value_counts: Box<[u32]> = (0..self.total_values as usize)
+            .map(|v| block[v * w..(v + 1) * w].iter().map(|x| x.count_ones()).sum())
+            .collect();
+        let wbase = e * w;
+        let failing = (0..w).map(|k| self.fail_bits.word(wbase + k).count_ones()).sum();
+        let succeeding = (0..w)
+            .map(|k| self.succeed_bits.word(wbase + k).count_ones())
+            .sum();
+        self.summaries[e] = Some(EpochSummary {
+            failing,
+            succeeding,
+            value_counts,
+        });
+        true
     }
 
     /// The recorded evaluation of an instance, if it was executed.
@@ -825,6 +1127,122 @@ mod tests {
         let c = Conjunction::new(vec![Predicate::eq(ds, Value::from("Iris"))]);
         assert_eq!(p.support(&c), (1, 1));
         assert_eq!(p.support(&Conjunction::top()), (1, 2));
+    }
+
+    /// Records the first `n` distinct instances of a 16×8 space (128 total,
+    /// so several 64-run epochs fill) through a store with 64-run epochs;
+    /// failing iff x == 3.
+    fn epoch_store(n: usize) -> (Arc<ParamSpace>, ProvenanceStore) {
+        let s = ParamSpace::builder()
+            .ordinal("x", (0..16).collect::<Vec<_>>())
+            .ordinal("y", (0..8).collect::<Vec<_>>())
+            .build();
+        let x = s.by_name("x").unwrap();
+        let mut p = ProvenanceStore::with_epoch_size(s.clone(), 64);
+        for inst in s.instances().take(n) {
+            let outcome = Outcome::from_check(inst.get(x) != &crate::Value::from(3));
+            p.record(inst, EvalResult::of(outcome));
+        }
+        (s, p)
+    }
+
+    #[test]
+    fn compaction_preserves_queries_exactly() {
+        let (s, mut p) = epoch_store(128);
+        let n = p.len();
+        assert_eq!(n, 128, "the whole 16×8 space is recorded");
+        let x = s.by_name("x").unwrap();
+        let y = s.by_name("y").unwrap();
+        let causes = [
+            Conjunction::new(vec![Predicate::eq(x, 3)]),
+            Conjunction::new(vec![Predicate::eq(x, 3), Predicate::eq(y, 2)]),
+            Conjunction::new(vec![Predicate::new(x, crate::Comparator::Le, 4)]),
+            Conjunction::top(),
+        ];
+        let before: Vec<_> = causes
+            .iter()
+            .map(|c| {
+                (
+                    p.support(c),
+                    p.satisfying_runs(c).map(|r| r.instance.clone()).collect::<Vec<_>>(),
+                    p.succeeding_superset_exists(c),
+                )
+            })
+            .collect();
+        assert!(p.num_epochs() >= 1);
+        let retired = p.compact(0);
+        assert_eq!(retired, n / 64);
+        assert_eq!(p.retired_epochs(), retired);
+        for (c, (support, satisfying, superset)) in causes.iter().zip(&before) {
+            assert_eq!(&p.support(c), support, "support changed for {}", c.display(&s));
+            assert_eq!(
+                &p.satisfying_runs(c).map(|r| r.instance.clone()).collect::<Vec<_>>(),
+                satisfying
+            );
+            assert_eq!(&p.succeeding_superset_exists(c), superset);
+        }
+        // Re-compacting is a no-op; lookups still hit.
+        assert_eq!(p.compact(0), 0);
+        assert!(p.lookup(&s.instance_from_indices(&[3, 2])).is_some());
+    }
+
+    #[test]
+    fn index_bound_auto_compacts_on_record() {
+        let (_, mut fresh) = epoch_store(0);
+        fresh.set_index_bound(Some(1));
+        let s = fresh.space().clone();
+        // 40 distinct instances over 64-run epochs: fill several epochs by
+        // inserting distinct keys (8*5 = 40 < 64, so widen via more records).
+        let mut recorded = 0usize;
+        for xi in 0..8u32 {
+            for yi in 0..5u32 {
+                let inst = s.instance_from_indices(&[xi, yi]);
+                if fresh.record(inst, EvalResult::of(Outcome::from_check(xi != 3))) {
+                    recorded += 1;
+                }
+            }
+        }
+        assert_eq!(recorded, 40); // one partial epoch only: nothing to retire
+        assert_eq!(fresh.retired_epochs(), 0);
+        let summary_bytes = fresh.index_bytes();
+        assert!(summary_bytes > 0);
+    }
+
+    #[test]
+    fn index_bound_retires_old_epochs() {
+        let s = ParamSpace::builder()
+            .ordinal("a", (0..40).collect::<Vec<_>>())
+            .ordinal("b", (0..10).collect::<Vec<_>>())
+            .build();
+        let mut p = ProvenanceStore::with_epoch_size(s.clone(), 64);
+        p.set_index_bound(Some(1));
+        for (i, inst) in s.instances().enumerate() {
+            p.record(
+                inst,
+                EvalResult::of(Outcome::from_check(i % 7 != 0)),
+            );
+        }
+        assert_eq!(p.len(), 400);
+        assert_eq!(p.num_epochs(), 7); // 400 runs / 64
+        // All but the newest full epoch + the partial one are retired.
+        assert!(p.retired_epochs() >= 5, "retired {}", p.retired_epochs());
+        assert!(p.live_epochs() <= 2);
+        // Summaries carry exact outcome counts.
+        let total_failing: u32 = (0..p.num_epochs())
+            .filter_map(|e| p.epoch_summary(e))
+            .map(|s| s.failing)
+            .sum();
+        assert!(total_failing > 0);
+        // Queries stay exact: compare against a fully-live store.
+        let mut live = ProvenanceStore::with_epoch_size(s.clone(), 64);
+        for run in p.runs() {
+            live.record(run.instance.clone(), run.eval);
+        }
+        let a = s.by_name("a").unwrap();
+        for v in 0..40 {
+            let c = Conjunction::new(vec![Predicate::eq(a, v)]);
+            assert_eq!(p.support(&c), live.support(&c), "a = {v}");
+        }
     }
 
     #[test]

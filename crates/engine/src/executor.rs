@@ -23,7 +23,7 @@
 //! * a **sharded read cache** maps dense instance keys to outcomes across
 //!   [`CACHE_SHARDS`] independently locked shards (readers of different
 //!   shards never touch the same lock, and shard write locks are held only
-//!   for the instant a new result is published);
+//!   for the instant a new result is published or an entry is evicted);
 //! * the full [`ProvenanceStore`] sits behind one `RwLock`, write-locked only
 //!   to record new executions (and read-locked for snapshot/queries and for
 //!   the rare instance that has no dense key);
@@ -37,6 +37,21 @@
 //! if another worker recorded the same instance first (the determinism
 //! guarantee makes the two results interchangeable), so
 //! `new_executions == provenance.len() - seeded` always holds.
+//!
+//! # Memory-bounded mode
+//!
+//! By default the read cache is write-through and unbounded. Under a
+//! [`MemoryBudget`] (entry or byte cap, split evenly across the shards) each
+//! shard evicts with the CLOCK (second-chance) policy: reads set a per-entry
+//! reference bit (an atomic, so the shared lock suffices) and the insert
+//! path sweeps a clock hand, demoting referenced entries once and evicting
+//! the first unreferenced one. Eviction never loses information — the
+//! provenance log remains the source of truth, so a probe that misses the
+//! cache falls back to one `ProvenanceStore::lookup` under the read lock
+//! and, on a hit, re-publishes the entry (counted in
+//! [`ExecStats::log_rederivations`]) instead of re-executing. A genuinely
+//! unknown instance still goes through the CAS budget reservation, so the
+//! `new_executions` invariant above is unaffected by eviction.
 
 use crate::pipeline::{Pipeline, PipelineError, SimTime};
 use bugdoc_core::{
@@ -45,7 +60,7 @@ use bugdoc_core::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of read-cache shards (power of two; see the module docs).
@@ -72,6 +87,38 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Bound on the executor's in-memory read cache (see the module docs).
+///
+/// The budget is split evenly across the [`CACHE_SHARDS`] shards; each shard
+/// enforces its slice with CLOCK (second-chance) eviction. The provenance
+/// log is unaffected — evicted outcomes are re-derived from it on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryBudget {
+    /// Never evict (the cache mirrors the whole history).
+    #[default]
+    Unbounded,
+    /// At most this many cached outcomes across all shards.
+    Entries(usize),
+    /// At most approximately this many bytes of cached keys and entries
+    /// across all shards (accounted per entry as key bytes plus a fixed
+    /// slot/map overhead).
+    Bytes(usize),
+}
+
+impl MemoryBudget {
+    /// The per-shard cap this budget implies: `(entries, bytes)` with `None`
+    /// meaning unlimited on that axis. Caps are rounded up so the total is
+    /// never below the requested budget, and floored at one entry per shard
+    /// (a cache that cannot hold anything would only thrash).
+    fn per_shard(self) -> (Option<usize>, Option<usize>) {
+        match self {
+            MemoryBudget::Unbounded => (None, None),
+            MemoryBudget::Entries(n) => (Some(n.div_ceil(CACHE_SHARDS).max(1)), None),
+            MemoryBudget::Bytes(b) => (None, Some(b.div_ceil(CACHE_SHARDS))),
+        }
+    }
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
@@ -80,6 +127,8 @@ pub struct ExecutorConfig {
     /// Maximum number of *new* pipeline executions (cache hits are free).
     /// `None` = unbounded.
     pub budget: Option<usize>,
+    /// Bound on the read cache's memory (default: unbounded).
+    pub memory: MemoryBudget,
 }
 
 impl Default for ExecutorConfig {
@@ -87,6 +136,7 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             workers: 5,
             budget: None,
+            memory: MemoryBudget::Unbounded,
         }
     }
 }
@@ -96,12 +146,18 @@ impl Default for ExecutorConfig {
 pub struct ExecStats {
     /// Instances executed by this executor (excludes pre-seeded provenance).
     pub new_executions: usize,
-    /// Evaluations answered from provenance without executing.
+    /// Evaluations answered from provenance without executing (shard-cache
+    /// hits, log re-derivations, and racing duplicates combined).
     pub cache_hits: usize,
     /// Requests refused because the pipeline could not run the instance.
     pub unavailable: usize,
     /// Requests refused because the budget was exhausted.
     pub budget_refusals: usize,
+    /// Cache entries evicted under a [`MemoryBudget`].
+    pub evictions: usize,
+    /// Keyed probes that missed the shard cache (evicted or collided) but
+    /// were answered exactly from the provenance log without re-executing.
+    pub log_rederivations: usize,
     /// Virtual time elapsed: the makespan of all executions scheduled on
     /// `workers` machines.
     pub sim_time: SimTime,
@@ -129,29 +185,157 @@ impl std::hash::Hasher for IdentityHasher {
 
 type IdentityBuild = std::hash::BuildHasherDefault<IdentityHasher>;
 
+/// Fixed per-entry overhead charged against a byte budget, on top of the key
+/// bytes: the slot struct, the fingerprint→slot map entry, and the reference
+/// bit. Approximate by design — the budget bounds growth, it is not an
+/// allocator audit.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+#[inline]
+fn entry_bytes(key_len: usize) -> usize {
+    key_len * 4 + ENTRY_OVERHEAD_BYTES
+}
+
+/// One cached outcome: the verified key disambiguates the (astronomically
+/// rare) fingerprint collision — a mismatch reads as a cache miss, and the
+/// provenance fallback keeps the answer exact. The second-chance bit lives
+/// inline with the payload (an atomic, so the *shared* lock suffices to set
+/// it on the hit path) — one cache line per entry.
+struct CacheEntry {
+    key: Box<[u32]>,
+    outcome: Outcome,
+    referenced: AtomicBool,
+}
+
+/// The mutable core of one shard: payloads inline in the fingerprint map
+/// (exactly the write-through layout of the eviction-free cache), plus — in
+/// bounded mode only — a ring of fingerprints the CLOCK hand sweeps. The
+/// ring and the map always hold the same fingerprints: insertion pushes,
+/// and eviction happens *at* the hand, so a `swap_remove` there keeps the
+/// correspondence without tombstones.
+#[derive(Default)]
+struct ShardInner {
+    /// Fingerprint → cached outcome.
+    map: HashMap<u64, CacheEntry, IdentityBuild>,
+    /// CLOCK ring of fingerprints (empty and untouched when unbounded).
+    ring: Vec<u64>,
+    /// The clock hand: next ring position the eviction sweep examines.
+    hand: usize,
+    /// Bytes charged so far (only meaningful under a byte budget).
+    bytes: usize,
+}
+
+impl ShardInner {
+    /// Inserts or overwrites `fp`'s entry, evicting with CLOCK while the
+    /// shard is over either cap. Returns the number of evictions performed.
+    fn insert(
+        &mut self,
+        fp: u64,
+        key: Box<[u32]>,
+        outcome: Outcome,
+        max_entries: Option<usize>,
+        max_bytes: Option<usize>,
+    ) -> usize {
+        // One hash probe covers both the refresh case (the benign
+        // duplicate-publish race) and, when unbounded, the plain append —
+        // the write-through path costs exactly what the eviction-free cache
+        // it replaces did.
+        let unbounded = max_entries.is_none() && max_bytes.is_none();
+        match self.map.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(occupied) => {
+                let entry = occupied.into_mut();
+                self.bytes = self.bytes + entry_bytes(key.len()) - entry_bytes(entry.key.len());
+                entry.key = key;
+                entry.outcome = outcome;
+                *entry.referenced.get_mut() = true;
+                return 0;
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                if unbounded {
+                    vacant.insert(CacheEntry {
+                        key,
+                        outcome,
+                        referenced: AtomicBool::new(false),
+                    });
+                    return 0;
+                }
+            }
+        }
+        let incoming = entry_bytes(key.len());
+        let mut evicted = 0usize;
+        // Make room *before* inserting so the caps hold as invariants. The
+        // entry floor (at least one entry per shard) keeps a tiny byte
+        // budget from refusing everything.
+        while !self.ring.is_empty()
+            && (max_entries.is_some_and(|m| self.map.len() >= m)
+                || max_bytes.is_some_and(|m| self.bytes + incoming > m))
+        {
+            self.evict_one();
+            evicted += 1;
+        }
+        self.bytes += incoming;
+        self.ring.push(fp);
+        self.map.insert(
+            fp,
+            CacheEntry {
+                key,
+                outcome,
+                referenced: AtomicBool::new(true),
+            },
+        );
+        evicted
+    }
+
+    /// One CLOCK sweep: clears reference bits until an unreferenced entry is
+    /// found, then evicts it at the hand (the ring `swap_remove` keeps the
+    /// ring↔map correspondence exact).
+    fn evict_one(&mut self) {
+        debug_assert!(!self.ring.is_empty(), "evict_one on an empty shard");
+        loop {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let fp = self.ring[self.hand];
+            let entry = self.map.get_mut(&fp).expect("ring fingerprint is mapped");
+            if std::mem::take(entry.referenced.get_mut()) {
+                self.hand += 1; // second chance
+                continue;
+            }
+            self.bytes -= entry_bytes(entry.key.len());
+            self.map.remove(&fp);
+            self.ring.swap_remove(self.hand);
+            return;
+        }
+    }
+}
+
 /// One cache shard, padded to its own cache line so shard locks and hit
 /// counters on different shards never false-share.
 #[repr(align(64))]
 #[derive(Default)]
 struct CacheShard {
-    /// Fingerprint → (verified key, outcome). The stored key disambiguates
-    /// the (astronomically rare) fingerprint collision: a mismatch reads as
-    /// a cache miss, and the provenance store's own dedup keeps accounting
-    /// exact if the instance is then re-executed.
-    map: RwLock<HashMap<u64, (Box<[u32]>, Outcome), IdentityBuild>>,
+    inner: RwLock<ShardInner>,
     /// Cache hits served by this shard (summed into [`ExecStats`]).
     hits: AtomicUsize,
+    /// Entries this shard evicted under a memory budget.
+    evictions: AtomicUsize,
 }
 
 /// The sharded dense-key → outcome read cache (see the module docs).
 struct ReadCache {
     shards: Vec<CacheShard>,
+    /// Per-shard caps derived from the [`MemoryBudget`].
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
 }
 
 impl ReadCache {
-    fn new() -> Self {
+    fn new(budget: MemoryBudget) -> Self {
+        let (max_entries, max_bytes) = budget.per_shard();
         ReadCache {
             shards: (0..CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
+            max_entries,
+            max_bytes,
         }
     }
 
@@ -166,14 +350,24 @@ impl ReadCache {
     }
 
     /// Looks a key up by its precomputed fingerprint and, on a hit, counts
-    /// it on the shard's local counter.
+    /// it on the shard's local counter and marks the entry recently used.
     #[inline]
     fn get_counted(&self, fp: u64, key: &[u32]) -> Option<Outcome> {
         let shard = self.shard(fp);
-        let hit = match shard.map.read().get(&fp) {
-            Some((stored, outcome)) if stored.as_ref() == key => Some(*outcome),
+        let bounded = self.is_bounded();
+        let inner = shard.inner.read();
+        let hit = match inner.map.get(&fp) {
+            Some(entry) if entry.key.as_ref() == key => {
+                // The second-chance bit only matters when eviction can
+                // happen; unbounded mode skips the shared-line write.
+                if bounded {
+                    entry.referenced.store(true, Ordering::Relaxed);
+                }
+                Some(entry.outcome)
+            }
             _ => None,
         };
+        drop(inner);
         if hit.is_some() {
             shard.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -181,7 +375,21 @@ impl ReadCache {
     }
 
     fn insert(&self, fp: u64, key: Box<[u32]>, outcome: Outcome) {
-        self.shard(fp).map.write().insert(fp, (key, outcome));
+        let shard = self.shard(fp);
+        let evicted = shard
+            .inner
+            .write()
+            .insert(fp, key, outcome, self.max_entries, self.max_bytes);
+        if evicted > 0 {
+            shard.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// True when a memory budget is in force (entries can be evicted, so a
+    /// shard miss is not authoritative).
+    #[inline]
+    fn is_bounded(&self) -> bool {
+        self.max_entries.is_some() || self.max_bytes.is_some()
     }
 
     fn hits(&self) -> usize {
@@ -189,6 +397,18 @@ impl ReadCache {
             .iter()
             .map(|s| s.hits.load(Ordering::Relaxed))
             .sum()
+    }
+
+    fn evictions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Entries currently cached across all shards.
+    fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.inner.read().map.len()).sum()
     }
 }
 
@@ -199,6 +419,7 @@ struct AtomicStats {
     cache_hits: AtomicUsize,
     unavailable: AtomicUsize,
     budget_refusals: AtomicUsize,
+    log_rederivations: AtomicUsize,
     /// Virtual-clock seconds, stored as `f64` bits.
     sim_time_bits: AtomicU64,
 }
@@ -212,14 +433,17 @@ impl AtomicStats {
             });
     }
 
-    /// Snapshot; `shard_hits` is the sum of the read cache's per-shard
-    /// counters (keyed cache hits are counted at the shard they touch).
-    fn snapshot(&self, shard_hits: usize) -> ExecStats {
+    /// Snapshot; `shard_hits`/`evictions` are the sums of the read cache's
+    /// per-shard counters (keyed cache hits are counted at the shard they
+    /// touch).
+    fn snapshot(&self, shard_hits: usize, evictions: usize) -> ExecStats {
         ExecStats {
             new_executions: self.new_executions.load(Ordering::SeqCst),
             cache_hits: self.cache_hits.load(Ordering::SeqCst) + shard_hits,
             unavailable: self.unavailable.load(Ordering::SeqCst),
             budget_refusals: self.budget_refusals.load(Ordering::SeqCst),
+            evictions,
+            log_rederivations: self.log_rederivations.load(Ordering::SeqCst),
             sim_time: SimTime::from_secs(f64::from_bits(
                 self.sim_time_bits.load(Ordering::SeqCst),
             )),
@@ -250,7 +474,7 @@ impl Executor {
         config: ExecutorConfig,
         provenance: ProvenanceStore,
     ) -> Self {
-        let cache = ReadCache::new();
+        let cache = ReadCache::new(config.memory);
         let space = pipeline.space().clone();
         for run in provenance.runs() {
             let key: Option<Box<[u32]>> = run
@@ -300,7 +524,14 @@ impl Executor {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> ExecStats {
-        self.stats.snapshot(self.cache.hits())
+        self.stats.snapshot(self.cache.hits(), self.cache.evictions())
+    }
+
+    /// Outcomes currently held in the read cache (equals the number of
+    /// encodable recorded instances when the memory budget is unbounded;
+    /// bounded by the budget otherwise).
+    pub fn cache_entries(&self) -> usize {
+        self.cache.entries()
     }
 
     /// A snapshot of the current provenance.
@@ -358,10 +589,32 @@ impl Executor {
 
     /// Cache probe, counting the hit where it is found: on the shard's local
     /// counter for keyed probes, on the residual counter for key-less ones.
+    ///
+    /// Under a memory budget, a keyed probe that misses the shard cache is
+    /// not yet a miss: the entry may have been evicted, so the provenance
+    /// log — the source of truth — gets the final word. A log hit
+    /// re-publishes the entry so the hot set re-warms after eviction. With
+    /// an unbounded cache (write-through, never evicts) a shard miss is
+    /// authoritative and the extra probe is skipped, keeping the cold path
+    /// identical to the eviction-free executor.
     #[inline]
     fn probe_counted(&self, instance: &Instance, key: Option<(u64, &[u32])>) -> Option<Outcome> {
         match key {
-            Some((fp, k)) => self.cache.get_counted(fp, k),
+            Some((fp, k)) => {
+                if let Some(outcome) = self.cache.get_counted(fp, k) {
+                    return Some(outcome);
+                }
+                if !self.cache.is_bounded() {
+                    return None;
+                }
+                let rederived = self.provenance.read().lookup(instance).map(|e| e.outcome);
+                if let Some(outcome) = rederived {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.log_rederivations.fetch_add(1, Ordering::Relaxed);
+                    self.cache.insert(fp, k.into(), outcome);
+                }
+                rederived
+            }
             None => {
                 let hit = self.provenance.read().lookup(instance).map(|e| e.outcome);
                 if hit.is_some() {
@@ -595,11 +848,14 @@ fn makespan(costs: &[SimTime], machines: usize) -> SimTime {
     }
     let mut loads = vec![0.0f64; machines.max(1)];
     for c in costs {
-        // Index of the least-loaded machine.
+        // Index of the least-loaded machine. `total_cmp` keeps the schedule
+        // well-defined even when a pipeline reports a NaN cost (a NaN load
+        // sorts above every finite load, so it stops attracting jobs instead
+        // of panicking the comparator).
         let (idx, _) = loads
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .expect("at least one machine");
         loads[idx] += c.secs();
     }
@@ -651,6 +907,7 @@ mod tests {
             ExecutorConfig {
                 workers: 2,
                 budget: Some(2),
+                ..Default::default()
             },
         );
         assert!(exec.evaluate(&inst(&s, 1, 1)).is_ok());
@@ -674,6 +931,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 budget: Some(0),
+                ..Default::default()
             },
             prov,
         );
@@ -703,6 +961,7 @@ mod tests {
             ExecutorConfig {
                 workers: 4,
                 budget: Some(2),
+                ..Default::default()
             },
         );
         let batch: Vec<_> = (1..=4).map(|x| inst(&s, x, 1)).collect();
@@ -728,6 +987,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 budget: Some(1),
+                ..Default::default()
             },
         );
         assert_eq!(exec.evaluate(&inst(&s, 2, 2)), Err(ExecError::Unavailable));
@@ -752,6 +1012,7 @@ mod tests {
                 ExecutorConfig {
                     workers,
                     budget: None,
+                    ..Default::default()
                 },
             )
         };
@@ -784,8 +1045,8 @@ mod tests {
     #[test]
     fn parallel_batch_matches_sequential_results() {
         let s = space();
-        let exec_par = Executor::new(pipe(&s), ExecutorConfig { workers: 8, budget: None });
-        let exec_seq = Executor::new(pipe(&s), ExecutorConfig { workers: 1, budget: None });
+        let exec_par = Executor::new(pipe(&s), ExecutorConfig { workers: 8, budget: None, ..Default::default() });
+        let exec_seq = Executor::new(pipe(&s), ExecutorConfig { workers: 1, budget: None, ..Default::default() });
         let batch: Vec<_> = (1..=5)
             .flat_map(|x| (1..=5).map(move |y| (x, y)))
             .map(|(x, y)| inst(&s, x, y))
@@ -794,6 +1055,137 @@ mod tests {
         let b = exec_seq.evaluate_batch(&batch);
         assert_eq!(a, b);
         assert_eq!(exec_par.stats().new_executions, 25);
+    }
+
+    #[test]
+    fn nan_cost_does_not_panic_scheduling() {
+        // Regression: `makespan` used `partial_cmp(..).unwrap()`, so one NaN
+        // cost (or NaN-score pipeline reporting a NaN duration) panicked the
+        // suspect-ranking batch path. With a total order it must complete.
+        let s = space();
+        let x = s.by_name("x").unwrap();
+        let p = FnPipeline::new(s.clone(), move |i: &Instance| EvalResult {
+            outcome: Outcome::from_check(i.get(x) != &Value::from(3)),
+            score: Some(f64::NAN),
+        })
+        .with_cost(SimTime::from_secs(f64::NAN));
+        let exec = Executor::new(
+            Arc::new(p),
+            ExecutorConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        );
+        let batch: Vec<_> = (1..=5).map(|v| inst(&s, v, 1)).collect();
+        let results = exec.evaluate_batch(&batch);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(exec.stats().new_executions, 5);
+        // NaN loads lose `f64::max`, so the clock stays well-defined (the
+        // NaN-cost jobs simply do not extend the makespan).
+        assert!(!exec.stats().sim_time.secs().is_sign_negative());
+    }
+
+    #[test]
+    fn makespan_with_nan_costs_is_total() {
+        let c = |s: f64| SimTime::from_secs(s);
+        // Must not panic; NaN ends up on some machine and poisons the max.
+        let m = makespan(&[c(1.0), c(f64::NAN), c(2.0)], 2);
+        assert!(m.secs().is_nan() || m.secs() >= 2.0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_stays_exact() {
+        let s = space(); // 25 instances
+        let exec = Executor::new(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 1,
+                budget: None,
+                memory: MemoryBudget::Entries(6),
+            },
+        );
+        let all: Vec<_> = (1..=5)
+            .flat_map(|x| (1..=5).map(move |y| (x, y)))
+            .map(|(x, y)| inst(&s, x, y))
+            .collect();
+        // Two full passes: the second is all cache hits *or* log
+        // re-derivations, never re-executions.
+        for i in &all {
+            exec.evaluate(i).unwrap();
+        }
+        for i in &all {
+            let expected = Outcome::from_check(i.get(s.by_name("x").unwrap()) != &Value::from(3));
+            assert_eq!(exec.evaluate(i), Ok(expected));
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.new_executions, 25, "eviction must not re-execute");
+        assert_eq!(stats.cache_hits, 25);
+        assert!(stats.evictions > 0, "a 6-entry cache over 25 keys must evict");
+        assert!(stats.log_rederivations > 0);
+        assert!(
+            exec.cache_entries() <= 16,
+            "per-shard floor is 1 entry; got {}",
+            exec.cache_entries()
+        );
+        assert_eq!(exec.provenance().len(), 25);
+    }
+
+    #[test]
+    fn byte_budget_bounds_cache() {
+        let s = space();
+        let exec = Executor::new(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 1,
+                budget: None,
+                memory: MemoryBudget::Bytes(4 * 1024),
+            },
+        );
+        let all: Vec<_> = (1..=5)
+            .flat_map(|x| (1..=5).map(move |y| (x, y)))
+            .map(|(x, y)| inst(&s, x, y))
+            .collect();
+        for i in &all {
+            exec.evaluate(i).unwrap();
+        }
+        assert_eq!(exec.stats().new_executions, 25);
+        // 25 entries × (8 key bytes + overhead) fits 4 KiB, so nothing evicts;
+        // shrink to 1 KiB and eviction must kick in.
+        let tight = Executor::new(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 1,
+                budget: None,
+                memory: MemoryBudget::Bytes(CACHE_SHARDS * ENTRY_OVERHEAD_BYTES),
+            },
+        );
+        for i in &all {
+            tight.evaluate(i).unwrap();
+        }
+        for i in &all {
+            tight.evaluate(i).unwrap();
+        }
+        assert_eq!(tight.stats().new_executions, 25);
+        assert!(tight.stats().evictions > 0);
+    }
+
+    #[test]
+    fn unbounded_mode_never_evicts() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        let all: Vec<_> = (1..=5)
+            .flat_map(|x| (1..=5).map(move |y| (x, y)))
+            .map(|(x, y)| inst(&s, x, y))
+            .collect();
+        for _ in 0..2 {
+            for i in &all {
+                exec.evaluate(i).unwrap();
+            }
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.log_rederivations, 0);
+        assert_eq!(exec.cache_entries(), 25);
     }
 
     #[test]

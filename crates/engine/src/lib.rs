@@ -14,5 +14,5 @@ mod executor;
 mod pipeline;
 
 pub use command::{CommandEval, CommandPipeline};
-pub use executor::{ExecError, ExecStats, Executor, ExecutorConfig};
+pub use executor::{ExecError, ExecStats, Executor, ExecutorConfig, MemoryBudget, CACHE_SHARDS};
 pub use pipeline::{FaultInjector, FnPipeline, HistoricalPipeline, Pipeline, PipelineError, SimTime};

@@ -60,6 +60,7 @@ fn concurrent_evaluate_holds_invariants_under_budget() {
             ExecutorConfig {
                 workers: 4,
                 budget: Some(budget),
+                ..Default::default()
             },
         );
         let pool = instance_pool(&s, 400);
@@ -131,6 +132,7 @@ fn concurrent_batches_hold_invariants() {
         ExecutorConfig {
             workers: 3,
             budget: Some(budget),
+            ..Default::default()
         },
     );
     let pool = instance_pool(&s, 300);
@@ -230,6 +232,7 @@ fn seeded_history_served_concurrently_with_zero_budget() {
         ExecutorConfig {
             workers: 4,
             budget: Some(0),
+            ..Default::default()
         },
         prov,
     );

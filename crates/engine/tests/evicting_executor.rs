@@ -1,0 +1,186 @@
+//! Eviction stress tests: many threads hammering a read cache sized well
+//! below the working set.
+//!
+//! The memory-bounded executor's contract is that eviction is *invisible*
+//! except in memory and latency: every evaluation still returns the
+//! pipeline's deterministic outcome (never a stale or wrong one), and the
+//! accounting invariant `new_executions == provenance.len() - seeded` holds
+//! because a cache miss on a known instance re-derives from the provenance
+//! log instead of re-executing.
+
+use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, ProvenanceStore, Value};
+use bugdoc_engine::{Executor, ExecutorConfig, FnPipeline, MemoryBudget, Pipeline};
+use std::sync::Arc;
+
+const THREADS: usize = 6;
+const ROUNDS: usize = 40;
+
+fn space() -> Arc<ParamSpace> {
+    ParamSpace::builder()
+        .ordinal("x", (0..20).collect::<Vec<_>>())
+        .ordinal("y", (0..10).collect::<Vec<_>>())
+        .build()
+}
+
+/// Ground truth: failing iff x mod 7 == 3.
+fn expected(space: &ParamSpace, inst: &Instance) -> Outcome {
+    let x = space.by_name("x").unwrap();
+    match inst.get(x) {
+        Value::Int(v) => Outcome::from_check(v % 7 != 3),
+        _ => unreachable!("x is an integer ordinal"),
+    }
+}
+
+fn pipeline(s: &Arc<ParamSpace>) -> Arc<dyn Pipeline> {
+    let space = s.clone();
+    Arc::new(FnPipeline::new(s.clone(), move |i: &Instance| {
+        EvalResult::of(expected(&space, i))
+    }))
+}
+
+/// The working set: all 200 instances of the space.
+fn working_set(s: &Arc<ParamSpace>) -> Vec<Instance> {
+    s.instances().collect()
+}
+
+#[test]
+fn hammered_quarter_sized_cache_never_serves_stale_or_reexecutes() {
+    let s = space();
+    let all = working_set(&s);
+    let exec = Executor::new(
+        pipeline(&s),
+        ExecutorConfig {
+            workers: 4,
+            budget: None,
+            memory: MemoryBudget::Entries(all.len() / 4), // 25% of the working set
+        },
+    );
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let exec = &exec;
+            let s = &s;
+            let all = &all;
+            scope.spawn(move || {
+                // Each thread sweeps the working set in its own stride order
+                // so shards see interleaved, conflicting access patterns.
+                for round in 0..ROUNDS {
+                    for k in 0..all.len() {
+                        let inst = &all[(k * (2 * t + 3) + round * 17) % all.len()];
+                        let outcome = exec.evaluate(inst).unwrap();
+                        assert_eq!(
+                            outcome,
+                            expected(s, inst),
+                            "stale/wrong outcome for {} (thread {t}, round {round})",
+                            inst.display(s)
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = exec.stats();
+    let prov = exec.provenance();
+    // Every distinct instance executed exactly once, eviction notwithstanding.
+    assert_eq!(prov.len(), all.len());
+    assert_eq!(
+        stats.new_executions,
+        prov.len(),
+        "eviction must never be double-counted as a new execution"
+    );
+    let total_evals = THREADS * ROUNDS * all.len();
+    assert_eq!(stats.cache_hits, total_evals - stats.new_executions);
+    // The cache is a quarter of the working set: it must actually evict, and
+    // misses on known instances must have been re-derived from the log.
+    assert!(stats.evictions > 0, "no evictions at 25% capacity");
+    assert!(stats.log_rederivations > 0, "no log re-derivations recorded");
+    assert!(
+        exec.cache_entries() <= all.len() / 4 + bugdoc_engine::CACHE_SHARDS,
+        "cache exceeded its budget: {} entries",
+        exec.cache_entries()
+    );
+    // And the provenance itself is exact: per-instance lookups all agree.
+    for inst in &all {
+        assert_eq!(prov.outcome_of(inst), Some(expected(&s, inst)));
+    }
+}
+
+#[test]
+fn seeded_provenance_counts_stay_exact_under_eviction() {
+    let s = space();
+    let all = working_set(&s);
+    let seeded = all.len() / 2;
+    let mut prov = ProvenanceStore::new(s.clone());
+    for inst in all.iter().take(seeded) {
+        prov.record(inst.clone(), EvalResult::of(expected(&s, inst)));
+    }
+    let exec = Executor::with_provenance(
+        pipeline(&s),
+        ExecutorConfig {
+            workers: 4,
+            budget: None,
+            memory: MemoryBudget::Entries(all.len() / 4),
+        },
+        prov,
+    );
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let exec = &exec;
+            let all = &all;
+            scope.spawn(move || {
+                for round in 0..ROUNDS / 2 {
+                    for k in 0..all.len() {
+                        let inst = &all[(k * (2 * t + 3) + round * 11) % all.len()];
+                        exec.evaluate(inst).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = exec.stats();
+    let total = exec.provenance().len();
+    assert_eq!(total, all.len());
+    assert_eq!(
+        stats.new_executions,
+        total - seeded,
+        "new_executions == provenance.len() - seeded must hold under eviction"
+    );
+    assert!(stats.evictions > 0);
+}
+
+#[test]
+fn byte_budget_under_contention_is_also_exact() {
+    let s = space();
+    let all = working_set(&s);
+    let exec = Executor::new(
+        pipeline(&s),
+        ExecutorConfig {
+            workers: 4,
+            budget: None,
+            // ~72 bytes/entry × 200 entries ≈ 14 KiB unbounded; 2 KiB forces
+            // heavy eviction.
+            memory: MemoryBudget::Bytes(2 * 1024),
+        },
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let exec = &exec;
+            let s = &s;
+            let all = &all;
+            scope.spawn(move || {
+                for round in 0..ROUNDS / 4 {
+                    for k in 0..all.len() {
+                        let inst = &all[(k * (t + 2) + round * 13) % all.len()];
+                        assert_eq!(exec.evaluate(inst).unwrap(), expected(s, inst));
+                    }
+                }
+            });
+        }
+    });
+    let stats = exec.stats();
+    assert_eq!(stats.new_executions, all.len());
+    assert!(stats.evictions > 0);
+}

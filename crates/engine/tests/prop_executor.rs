@@ -41,7 +41,7 @@ proptest! {
         let s = space();
         let exec = Executor::new(
             pipeline(&s),
-            ExecutorConfig { workers: 3, budget: Some(budget) },
+            ExecutorConfig { workers: 3, budget: Some(budget), ..Default::default() },
         );
         let mut distinct = std::collections::HashSet::new();
         let mut refused = 0usize;
@@ -92,8 +92,8 @@ proptest! {
         batch in proptest::collection::vec((0i64..4, 0i64..4), 1..24),
     ) {
         let s = space();
-        let exec_batch = Executor::new(pipeline(&s), ExecutorConfig { workers: 4, budget: None });
-        let exec_seq = Executor::new(pipeline(&s), ExecutorConfig { workers: 1, budget: None });
+        let exec_batch = Executor::new(pipeline(&s), ExecutorConfig { workers: 4, budget: None, ..Default::default() });
+        let exec_seq = Executor::new(pipeline(&s), ExecutorConfig { workers: 1, budget: None, ..Default::default() });
         for (a, b) in &warmup {
             exec_batch.evaluate(&inst(&s, *a, *b)).unwrap();
             exec_seq.evaluate(&inst(&s, *a, *b)).unwrap();
@@ -120,7 +120,7 @@ proptest! {
         let distinct: std::collections::HashSet<&Instance> = items.iter().collect();
         let work = distinct.len() as f64 * 10.0;
 
-        let exec = Executor::new(pipeline(&s), ExecutorConfig { workers, budget: None });
+        let exec = Executor::new(pipeline(&s), ExecutorConfig { workers, budget: None, ..Default::default() });
         exec.evaluate_batch(&items);
         let t = exec.stats().sim_time.secs();
         prop_assert!(t <= work + 1e-9);

@@ -63,6 +63,7 @@ pub fn instances_vs_params(
                         ExecutorConfig {
                             workers: 5,
                             budget: None,
+                            ..Default::default()
                         },
                         prov,
                     );
@@ -158,6 +159,7 @@ pub fn ddt_speedup(worker_counts: &[usize], repeats: usize, seed: u64) -> Vec<Sp
                 ExecutorConfig {
                     workers,
                     budget: None,
+                    ..Default::default()
                 },
                 prov,
             );

@@ -23,6 +23,7 @@ fn main() {
             ExecutorConfig {
                 workers,
                 budget: None,
+                ..Default::default()
             },
         );
 

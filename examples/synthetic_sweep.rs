@@ -42,6 +42,7 @@ fn main() {
             ExecutorConfig {
                 workers: 5,
                 budget,
+                ..Default::default()
             },
             prov,
         )

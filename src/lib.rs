@@ -87,6 +87,6 @@ pub mod prelude {
         Predicate, ProvenanceStore, Value,
     };
     pub use bugdoc_engine::{
-        Executor, ExecutorConfig, FnPipeline, HistoricalPipeline, Pipeline, SimTime,
+        Executor, ExecutorConfig, FnPipeline, HistoricalPipeline, MemoryBudget, Pipeline, SimTime,
     };
 }

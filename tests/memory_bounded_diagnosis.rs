@@ -1,0 +1,126 @@
+//! Memory-bounded mode end to end: with the read cache budgeted at 25% of
+//! the pipeline's working set, every diagnosis strategy must produce
+//! *bit-identical* results to the unbounded run — same causes, same number
+//! of new executions — on the paper-example pipelines. Eviction may only
+//! cost memory and latency, never answers or budget.
+
+use bugdoc::pipelines::{EnterpriseAnalyticsPipeline, MlPipeline};
+use bugdoc::prelude::*;
+use std::sync::Arc;
+
+/// Runs `diagnose` twice — unbounded and with a cache budgeted at
+/// `budget_pct`% of the space — and asserts identical output.
+fn assert_bounded_matches_unbounded(
+    make_pipeline: impl Fn() -> Arc<dyn Pipeline>,
+    seed_history: impl Fn(&Arc<dyn Pipeline>) -> ProvenanceStore,
+    strategy: Strategy,
+    budget_pct: usize,
+) {
+    let run = |memory: MemoryBudget| {
+        let pipeline = make_pipeline();
+        let prov = seed_history(&pipeline);
+        let seeded = prov.len();
+        let exec = Executor::with_provenance(
+            pipeline.clone(),
+            ExecutorConfig {
+                workers: 5,
+                budget: None,
+                memory,
+            },
+            prov,
+        );
+        let config = BugDocConfig {
+            strategy,
+            ..Default::default()
+        };
+        let diagnosis = diagnose(&exec, &config).unwrap();
+        let stats = exec.stats();
+        assert_eq!(
+            stats.new_executions,
+            exec.provenance().len() - seeded,
+            "execution accounting must stay exact ({memory:?})"
+        );
+        (diagnosis.causes, diagnosis.new_executions, stats.evictions)
+    };
+
+    let pipeline = make_pipeline();
+    let working_set = pipeline.space().total_configurations() as usize;
+    let budget = (working_set * budget_pct / 100).max(1);
+
+    let (unbounded_causes, unbounded_execs, no_evictions) = run(MemoryBudget::Unbounded);
+    assert_eq!(no_evictions, 0);
+    let (bounded_causes, bounded_execs, _) = run(MemoryBudget::Entries(budget));
+
+    assert_eq!(
+        bounded_causes,
+        unbounded_causes,
+        "diagnosis diverged under a {budget_pct}% cache budget ({strategy:?})"
+    );
+    assert_eq!(
+        bounded_execs, unbounded_execs,
+        "execution count diverged under a {budget_pct}% cache budget ({strategy:?})"
+    );
+}
+
+#[test]
+fn ml_pipeline_diagnosis_identical_at_quarter_budget() {
+    for strategy in [
+        Strategy::Combined,
+        Strategy::StackedShortcutOnly,
+        Strategy::DdtOnly,
+    ] {
+        assert_bounded_matches_unbounded(
+            || Arc::new(MlPipeline::new()) as Arc<dyn Pipeline>,
+            |p| {
+                let ml = MlPipeline::new();
+                let mut prov = ml.table1_history();
+                // Figure 1's gradient-boosting run completes the history the
+                // combined driver needs to see both causes.
+                prov.record(
+                    ml.instance("Digits", "Gradient Boosting", 1.0),
+                    p.execute(&ml.instance("Digits", "Gradient Boosting", 1.0))
+                        .unwrap(),
+                );
+                prov
+            },
+            strategy,
+            25,
+        );
+    }
+}
+
+#[test]
+fn enterprise_pipeline_diagnosis_identical_at_quarter_budget() {
+    for strategy in [Strategy::Combined, Strategy::DdtOnly] {
+        assert_bounded_matches_unbounded(
+            || Arc::new(EnterpriseAnalyticsPipeline::new()) as Arc<dyn Pipeline>,
+            |p| {
+                let space = p.space().clone();
+                let mut prov = ProvenanceStore::new(space.clone());
+                // Seed one failing and one succeeding run so every strategy
+                // has a CP_f to start from, deterministically.
+                let mut failing = None;
+                let mut succeeding = None;
+                for inst in space.instances() {
+                    let eval = p.execute(&inst).unwrap();
+                    match eval.outcome {
+                        Outcome::Fail if failing.is_none() => failing = Some((inst, eval)),
+                        Outcome::Succeed if succeeding.is_none() => {
+                            succeeding = Some((inst, eval))
+                        }
+                        _ => {}
+                    }
+                    if failing.is_some() && succeeding.is_some() {
+                        break;
+                    }
+                }
+                for (inst, eval) in [failing.unwrap(), succeeding.unwrap()] {
+                    prov.record(inst, eval);
+                }
+                prov
+            },
+            strategy,
+            25,
+        );
+    }
+}

@@ -208,7 +208,7 @@ proptest! {
             });
             Executor::new(
                 Arc::new(pipeline) as Arc<dyn Pipeline>,
-                ExecutorConfig { workers: 4, budget: None },
+                ExecutorConfig { workers: 4, budget: None, ..Default::default() },
             )
         };
         let batch_exec = mk();
@@ -257,7 +257,7 @@ mod stacked_properties {
             let Some(cp_f) = prov.first_failing().cloned() else { return Ok(()) };
             let exec = Executor::with_provenance(
                 pipe.clone() as Arc<dyn Pipeline>,
-                ExecutorConfig { workers: 3, budget: None },
+                ExecutorConfig { workers: 3, budget: None, ..Default::default() },
                 prov,
             );
             let report = stacked_shortcut(
@@ -298,7 +298,7 @@ mod stacked_properties {
             }
             let exec = Executor::with_provenance(
                 pipe.clone() as Arc<dyn Pipeline>,
-                ExecutorConfig { workers: 3, budget: None },
+                ExecutorConfig { workers: 3, budget: None, ..Default::default() },
                 prov,
             );
             if let Ok(report) = stacked_shortcut(

@@ -28,7 +28,7 @@ fn seeded_exec(pipe: &Arc<SyntheticPipeline>, budget: Option<usize>) -> Executor
     }
     Executor::with_provenance(
         pipe.clone() as Arc<dyn Pipeline>,
-        ExecutorConfig { workers: 4, budget },
+        ExecutorConfig { workers: 4, budget, ..Default::default() },
         prov,
     )
 }
@@ -187,6 +187,7 @@ fn virtual_clock_bounds() {
             ExecutorConfig {
                 workers,
                 budget: None,
+                ..Default::default()
             },
             prov,
         );
