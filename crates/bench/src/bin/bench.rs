@@ -22,6 +22,10 @@
 //! * `perf/batch_dispatch_128/5` — 128-instance batch at 5 workers
 //! * `perf/concurrent_cache_hits_5w` — per-op time under 5-thread contention
 //! * `perf/satisfied_by_1k` — per-conjunction log filtering, 1k candidates
+//! * `perf/wal_append` — durable provenance: one record appended to the WAL
+//! * `perf/snapshot_write` — durable provenance: 10k-run snapshot image
+//!   serialization (fsync/rename excluded as environment noise)
+//! * `perf/replay_10k` — durable provenance: full 10k-frame crash recovery
 //! * `perf/ddt_find_one` — DDT end-to-end on a synthetic pipeline
 
 use bugdoc_bench::perf;
@@ -112,6 +116,7 @@ fn main() {
     let mut c = Criterion::default();
     perf::bench_hot_paths(&mut c);
     let hit_rates = perf::bench_bounded_cache(&mut c);
+    perf::bench_persistence(&mut c);
     perf::bench_ddt_end_to_end(&mut c);
 
     let mut results = c.take_results();

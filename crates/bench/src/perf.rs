@@ -283,6 +283,7 @@ pub fn bench_bounded_cache(c: &mut Criterion) -> Vec<(String, f64)> {
                 workers: 5,
                 budget: None,
                 memory: MemoryBudget::Entries(budget),
+                ..Default::default()
             },
             provenance_10k(&space),
         );
@@ -302,6 +303,82 @@ pub fn bench_bounded_cache(c: &mut Criterion) -> Vec<(String, f64)> {
     }
     group.finish();
     rates
+}
+
+/// Registers the durable-provenance scenarios on `c`:
+///
+/// * `perf/wal_append` — one run record appended to the write-ahead log
+///   (frame encode + CRC32 + buffered file write; the cost persistence adds
+///   to each *new* execution — cache hits never touch it);
+/// * `perf/snapshot_write` — serializing a 10k-run store into its snapshot
+///   image (the CPU side of the `snapshot_every` amortized cost; the
+///   fsync+rename tail that `DurableStore::snapshot` also performs is
+///   excluded — fsync latency is environment noise, with transient 20×
+///   stalls, and would make the regression gate meaningless);
+/// * `perf/replay_10k` — full crash recovery of a 10k-frame WAL into a
+///   fresh `ProvenanceStore` (the worst-case warm-start latency; snapshots
+///   exist to keep the common case far below this).
+pub fn bench_persistence(c: &mut Criterion) {
+    use bugdoc_store::{DurableStore, PersistConfig};
+
+    let space = perf_space();
+    let root = std::env::temp_dir().join(format!("bugdoc-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut group = c.benchmark_group("perf");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
+
+    // Append: one open log, cycling through realistic records. Appending a
+    // record twice is fine at the WAL layer (dedup is the store's job), so
+    // the log just grows and rolls segments as it would in a long run.
+    {
+        let prov = provenance_10k(&space);
+        let runs = prov.runs();
+        let config = PersistConfig::new(root.join("append"));
+        let (_, mut durable, _) = DurableStore::open(&space, &config).expect("open WAL");
+        let mut k = 0usize;
+        group.bench_function("wal_append", |b| {
+            b.iter(|| {
+                k = (k + 1) % runs.len();
+                durable.append(&runs[k], &space).expect("append")
+            })
+        });
+    }
+
+    // Snapshot: serialize the full 10k-run store each iteration. The
+    // serialization layer is driven directly, skipping the fsync+rename
+    // tail — see the function docs.
+    {
+        let prov = provenance_10k(&space);
+        let digest = bugdoc_store::space_digest(&space);
+        let pos = bugdoc_store::WalPosition { segment: 1, offset: 16 };
+        group.bench_function("snapshot_write", |b| {
+            b.iter(|| bugdoc_store::snapshot::snapshot_bytes(digest, &prov, pos))
+        });
+    }
+
+    // Replay: recover a 10k-frame, snapshot-free log from scratch.
+    {
+        let config = PersistConfig::new(root.join("replay"));
+        let prov = provenance_10k(&space);
+        let (_, mut durable, _) = DurableStore::open(&space, &config).expect("open WAL");
+        for run in prov.runs() {
+            durable.append(run, &space).expect("append");
+        }
+        drop(durable);
+        group.bench_function("replay_10k", |b| {
+            b.iter(|| {
+                let (store, _, recovery) = DurableStore::open(&space, &config).expect("recover");
+                assert_eq!(recovery.runs, 10_000);
+                store
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 /// Registers the end-to-end DDT benchmark on `c` (`perf/ddt_find_one`), the

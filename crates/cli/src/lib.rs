@@ -75,6 +75,8 @@ The spec file declares parameters, the command template, and the evaluation:
   workers 5
   budget 200
   cache_entries 4096       # or: cache_bytes <n> — bound the result cache
+  persist_dir .bugdoc      # durable provenance: killed runs warm-start here
+  snapshot_every 512       # recovery snapshot cadence (with persist_dir)
 ";
 
 /// Parses argv (without the program name).
@@ -183,15 +185,21 @@ pub fn run(request: Request) -> Result<String, String> {
                 spec.command.clone(),
                 spec.eval.clone(),
             );
-            let exec = Executor::with_provenance(
+            // With `persist_dir` set this is the warm-start path: history
+            // already in the directory is recovered and seeds the executor
+            // (recovered runs are cache hits, exactly like --provenance
+            // seeds), and every new execution is teed to the WAL.
+            let exec = Executor::try_with_provenance(
                 Arc::new(pipeline) as Arc<dyn Pipeline>,
                 ExecutorConfig {
                     workers: spec.workers,
                     budget: spec.budget,
                     memory: spec.memory,
+                    persist: spec.persist.clone(),
                 },
                 prov,
-            );
+            )
+            .map_err(|e| e.to_string())?;
             let config = BugDocConfig {
                 strategy,
                 mode,
@@ -226,6 +234,36 @@ pub fn run(request: Request) -> Result<String, String> {
                 "instances executed: {} new, {} answered from provenance",
                 stats.new_executions, stats.cache_hits
             );
+            // Memory-bounded runs are observable without a debugger: report
+            // what the CLOCK cache evicted and how often the provenance log
+            // had to re-derive an answer.
+            if spec.memory != bugdoc_engine::MemoryBudget::Unbounded
+                || stats.evictions > 0
+                || stats.log_rederivations > 0
+            {
+                let _ = writeln!(
+                    out,
+                    "result cache: {} evictions, {} log re-derivations",
+                    stats.evictions, stats.log_rederivations
+                );
+            }
+            if let Some(recovery) = exec.recovery() {
+                let persist = spec.persist.as_ref().expect("recovery implies persistence");
+                let _ = writeln!(
+                    out,
+                    "durable provenance: {} runs warm-started from {} \
+                     ({} from snapshot, {} replayed from the log{}), new runs appended",
+                    recovery.runs,
+                    persist.dir.display(),
+                    recovery.snapshot_runs,
+                    recovery.replayed_frames,
+                    if recovery.truncated_bytes > 0 {
+                        format!("; {} torn bytes discarded", recovery.truncated_bytes)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
             if let Some(path) = save_provenance {
                 std::fs::write(&path, exec.provenance().to_tsv())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -24,9 +24,16 @@
 //! * `cache_entries <n>` | `cache_bytes <n>` — bound the executor's
 //!   in-memory result cache (default unbounded); evicted results are
 //!   re-derived from the provenance log, never re-executed.
+//! * `persist_dir <path>` — durable provenance: every execution is teed to
+//!   a checksummed write-ahead log in this directory, and a rerun *warm
+//!   starts* from whatever the directory already holds (a killed run
+//!   resumes where it stopped, paying only for the lost tail).
+//! * `snapshot_every <n>` — with `persist_dir`, write a recovery snapshot
+//!   every `n` new executions (default 512) so reopening replays only the
+//!   WAL tail.
 
 use bugdoc_core::{ParamSpace, Value};
-use bugdoc_engine::{CommandEval, MemoryBudget};
+use bugdoc_engine::{CommandEval, MemoryBudget, PersistConfig};
 use std::fmt;
 use std::sync::Arc;
 
@@ -45,6 +52,8 @@ pub struct Spec {
     pub budget: Option<usize>,
     /// Bound on the executor's in-memory result cache.
     pub memory: MemoryBudget,
+    /// Durable provenance (`persist_dir` / `snapshot_every`), if requested.
+    pub persist: Option<PersistConfig>,
 }
 
 /// A spec parse error with its 1-based line number.
@@ -101,6 +110,8 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
     let mut workers = 5usize;
     let mut budget: Option<usize> = None;
     let mut memory = MemoryBudget::Unbounded;
+    let mut persist_dir: Option<String> = None;
+    let mut snapshot_every: Option<u64> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -201,6 +212,22 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
                         .ok_or_else(|| err(line_no, "cache_bytes needs a positive integer"))?,
                 );
             }
+            "persist_dir" => {
+                if rest.is_empty() {
+                    return Err(err(line_no, "persist_dir needs a path"));
+                }
+                // Paths may contain spaces; the original spacing is not
+                // recoverable from tokens, so single spaces are assumed.
+                persist_dir = Some(rest.join(" "));
+            }
+            "snapshot_every" => {
+                snapshot_every = Some(
+                    rest.first()
+                        .and_then(|t| t.parse().ok())
+                        .filter(|&n: &u64| n >= 1)
+                        .ok_or_else(|| err(line_no, "snapshot_every needs a positive integer"))?,
+                );
+            }
             other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
         }
     }
@@ -210,6 +237,16 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
     }
     let command = command.ok_or_else(|| err(0, "spec has no command line"))?;
     let eval = eval.ok_or_else(|| err(0, "spec has no eval line"))?;
+    let persist = match (persist_dir, snapshot_every) {
+        (None, Some(_)) => {
+            return Err(err(0, "snapshot_every requires persist_dir"));
+        }
+        (None, None) => None,
+        (Some(dir), every) => Some(PersistConfig {
+            snapshot_every: Some(every.unwrap_or(512)),
+            ..PersistConfig::new(dir)
+        }),
+    };
     Ok(Spec {
         space: builder.take().expect("builder present").build(),
         command,
@@ -217,6 +254,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         workers,
         budget,
         memory,
+        persist,
     })
 }
 
@@ -272,6 +310,31 @@ budget 50
         assert_eq!(spec.memory, MemoryBudget::Bytes(512));
         for bad in ["cache_entries 0\n", "cache_entries\n", "cache_bytes x\n"] {
             let e = parse_spec(&format!("{base}{bad}")).unwrap_err();
+            assert!(e.message.contains("positive integer"), "{bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn persist_keywords() {
+        let base = "param a boolean\ncommand prog\neval exit_code\n";
+        let spec = parse_spec(base).unwrap();
+        assert_eq!(spec.persist, None);
+
+        let spec = parse_spec(&format!("{base}persist_dir /tmp/bd runs\n")).unwrap();
+        let persist = spec.persist.unwrap();
+        assert_eq!(persist.dir, std::path::PathBuf::from("/tmp/bd runs"));
+        assert_eq!(persist.snapshot_every, Some(512), "default cadence");
+
+        let spec =
+            parse_spec(&format!("{base}persist_dir /tmp/bd\nsnapshot_every 64\n")).unwrap();
+        assert_eq!(spec.persist.unwrap().snapshot_every, Some(64));
+
+        let e = parse_spec(&format!("{base}snapshot_every 64\n")).unwrap_err();
+        assert!(e.message.contains("requires persist_dir"), "{e}");
+        let e = parse_spec(&format!("{base}persist_dir\n")).unwrap_err();
+        assert!(e.message.contains("needs a path"), "{e}");
+        for bad in ["snapshot_every 0\n", "snapshot_every x\n"] {
+            let e = parse_spec(&format!("{base}persist_dir /tmp/bd\n{bad}")).unwrap_err();
             assert!(e.message.contains("positive integer"), "{bad:?}: {e}");
         }
     }

@@ -87,6 +87,72 @@ fn diagnose_finds_the_planted_cause() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// With `persist_dir` in the spec, reruns warm-start from the accumulated
+/// WAL: every previously executed instance is recovered (never re-executed
+/// — the warm-started count equals the sum of all earlier executions), and
+/// the root cause stays identical from run to run.
+#[test]
+fn persist_dir_warm_starts_reruns() {
+    let dir = workdir("persist");
+    let (spec_path, _) = write_fixture(&dir);
+    // Extend the spec with persistence keywords.
+    let mut spec_text = fs::read_to_string(&spec_path).unwrap();
+    spec_text.push_str(&format!(
+        "persist_dir {}\nsnapshot_every 8\n",
+        dir.join("prov").display()
+    ));
+    fs::write(&spec_path, spec_text).unwrap();
+
+    let args: Vec<String> = ["diagnose", "--spec", &spec_path, "--seed", "3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let new_count = |report: &str| -> usize {
+        report
+            .lines()
+            .find(|l| l.starts_with("instances executed:"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|n| n.parse().ok())
+            .unwrap()
+    };
+    let warm_count = |report: &str| -> usize {
+        report
+            .lines()
+            .find_map(|l| l.strip_prefix("durable provenance: "))
+            .and_then(|l| l.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(0)
+    };
+
+    let cold = bugdoc_cli::run(bugdoc_cli::parse_args(&args).unwrap()).unwrap();
+    assert!(
+        cold.contains("feed = acme") && cold.contains("resolution = weekly"),
+        "cold report:\n{cold}"
+    );
+    assert!(new_count(&cold) > 0);
+    assert_eq!(warm_count(&cold), 0, "nothing to recover on the first run");
+
+    // Rerun until the history saturates: every run must (a) report the same
+    // root cause, (b) warm-start *exactly* the runs all earlier invocations
+    // executed — the ledger `warm_started_{k+1} = warm_started_k + new_k`
+    // proves nothing is ever lost or re-executed.
+    let mut expected_warm = new_count(&cold);
+    for round in 0..3 {
+        let warm = bugdoc_cli::run(bugdoc_cli::parse_args(&args).unwrap()).unwrap();
+        assert!(
+            warm.contains("feed = acme") && warm.contains("resolution = weekly"),
+            "round {round} report:\n{warm}"
+        );
+        assert_eq!(
+            warm_count(&warm),
+            expected_warm,
+            "round {round} lost history:\n{warm}"
+        );
+        expected_warm += new_count(&warm);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_spec_is_reported_with_line() {
     let dir = workdir("badspec");

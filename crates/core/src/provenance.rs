@@ -804,17 +804,34 @@ impl ProvenanceStore {
     /// Parses a history from the TSV layout produced by [`Self::to_tsv`]
     /// (parameter columns in space order, then `score`, then `evaluation`).
     /// Values are matched against the parameter domains by their display
-    /// form; `score` is a float or `-`.
+    /// form after unescaping (see [`Self::to_tsv`]); `score` is a float or
+    /// `-`. A cell with a malformed escape sequence is
+    /// [`TsvError::Escape`].
+    ///
+    /// Compatibility note: files written before escaping existed that
+    /// contain *literal* backslashes in values are now interpreted as
+    /// escapes (rejected when malformed) — deliberate: a raw backslash is
+    /// ambiguous against the escaped format, and rejecting beats silently
+    /// loading a different value. Re-export such histories with the current
+    /// `to_tsv`.
     pub fn from_tsv(space: Arc<ParamSpace>, text: &str) -> Result<Self, TsvError> {
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or(TsvError::Empty)?;
-        let cols: Vec<&str> = header.split('\t').collect();
+        let cols: Vec<String> = header
+            .split('\t')
+            .map(|cell| {
+                unescape_tsv(cell).ok_or(TsvError::Escape {
+                    line: 1,
+                    cell: cell.to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let expected: Vec<String> = space
             .iter()
             .map(|(_, d)| d.name().to_string())
             .chain(["score".to_string(), "evaluation".to_string()])
             .collect();
-        if cols != expected.iter().map(String::as_str).collect::<Vec<_>>() {
+        if cols != expected {
             return Err(TsvError::Header {
                 expected: expected.join("\t"),
                 found: header.to_string(),
@@ -836,11 +853,15 @@ impl ProvenanceStore {
             }
             let mut indices = Vec::with_capacity(space.len());
             for (p, cell) in space.ids().zip(cells.iter()) {
+                let unescaped = unescape_tsv(cell).ok_or_else(|| TsvError::Escape {
+                    line: line_no + 1,
+                    cell: cell.to_string(),
+                })?;
                 let domain = space.domain(p);
                 let idx = domain
                     .values()
                     .iter()
-                    .position(|v| v.to_string() == *cell)
+                    .position(|v| v.to_string() == unescaped)
                     .ok_or_else(|| TsvError::Value {
                         line: line_no + 1,
                         param: space.param(p).name().to_string(),
@@ -876,13 +897,19 @@ impl ProvenanceStore {
     /// Serializes the history as a TSV table (header + one row per run):
     /// parameter columns, then `score`, then `evaluation` — the layout of the
     /// paper's Tables 1 and 2.
+    ///
+    /// Parameter names and values containing TSV structure characters are
+    /// backslash-escaped (`\t` tab, `\n` newline, `\r` carriage return,
+    /// `\\` backslash), so a hostile string value cannot smuggle extra
+    /// cells or rows into the table; [`Self::from_tsv`] reverses the
+    /// escaping.
     pub fn to_tsv(&self) -> String {
         let mut out = String::new();
         for (i, (_, def)) in self.space.iter().enumerate() {
             if i > 0 {
                 out.push('\t');
             }
-            out.push_str(def.name());
+            escape_tsv_into(def.name(), &mut out);
         }
         out.push_str("\tscore\tevaluation\n");
         for run in &self.runs {
@@ -890,7 +917,7 @@ impl ProvenanceStore {
                 if i > 0 {
                     out.push('\t');
                 }
-                let _ = write!(out, "{v}");
+                escape_tsv_into(&v.to_string(), &mut out);
             }
             match run.eval.score {
                 Some(s) => {
@@ -902,6 +929,46 @@ impl ProvenanceStore {
         }
         out
     }
+}
+
+/// Appends `s` to `out`, backslash-escaping the characters that would be
+/// read as TSV structure (tab, newline, carriage return) plus the escape
+/// character itself.
+fn escape_tsv_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Reverses [`escape_tsv_into`]. `None` on a malformed escape (a lone
+/// trailing backslash or an unknown `\x` pair) — the file was not produced
+/// by `to_tsv` and guessing would corrupt the value.
+fn unescape_tsv(cell: &str) -> Option<String> {
+    if !cell.contains('\\') {
+        return Some(cell.to_string());
+    }
+    let mut out = String::with_capacity(cell.len());
+    let mut chars = cell.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Why a provenance TSV could not be parsed; see [`ProvenanceStore::from_tsv`].
@@ -948,6 +1015,14 @@ pub enum TsvError {
         /// The offending cell.
         cell: String,
     },
+    /// A cell carries a malformed backslash escape (lone trailing `\` or an
+    /// unknown `\x` sequence).
+    Escape {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell.
+        cell: String,
+    },
 }
 
 impl std::fmt::Display for TsvError {
@@ -972,6 +1047,10 @@ impl std::fmt::Display for TsvError {
             TsvError::Evaluation { line, cell } => write!(
                 f,
                 "line {line}: evaluation {cell:?} must be 'succeed' or 'fail'"
+            ),
+            TsvError::Escape { line, cell } => write!(
+                f,
+                "line {line}: cell {cell:?} has a malformed backslash escape"
             ),
         }
     }
@@ -1340,5 +1419,77 @@ mod tsv_tests {
         let parsed = ProvenanceStore::from_tsv(s, text).unwrap();
         assert_eq!(parsed.len(), 1);
         let _ = Value::from(1); // keep the import meaningful
+    }
+
+    /// Values containing the TSV structure characters — tabs, newlines,
+    /// carriage returns, backslashes — must round-trip instead of smuggling
+    /// extra cells or rows into the table.
+    #[test]
+    fn hostile_values_roundtrip() {
+        let hostile = [
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "cr\rhere",
+            "back\\slash",
+            "\\t literal backslash-t",
+            "trailing\\",
+            "\t\n\r\\",
+            "mix\tof\nall\r\\four",
+        ];
+        let s = ParamSpace::builder()
+            .categorical("evil\tname", hostile)
+            .ordinal("Version", [1, 2])
+            .build();
+        let mut prov = ProvenanceStore::new(s.clone());
+        for (i, v) in hostile.iter().enumerate() {
+            prov.record(
+                Instance::from_pairs(&s, [("evil\tname", (*v).into()), ("Version", 1.into())]),
+                EvalResult::of(Outcome::from_check(i % 2 == 0)),
+            );
+        }
+        let tsv = prov.to_tsv();
+        // Structure is intact: one header + one line per run, each with
+        // exactly three tabs.
+        assert_eq!(tsv.lines().count(), 1 + hostile.len());
+        for line in tsv.lines() {
+            assert_eq!(line.matches('\t').count(), 3, "line {line:?}");
+        }
+        let parsed = ProvenanceStore::from_tsv(s.clone(), &tsv).unwrap();
+        assert_eq!(parsed.len(), prov.len());
+        for (a, b) in parsed.runs().iter().zip(prov.runs()) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.eval.outcome, b.eval.outcome);
+        }
+        assert_eq!(parsed.to_tsv(), tsv, "escaping is stable");
+    }
+
+    #[test]
+    fn malformed_escape_rejected() {
+        let s = space();
+        let base = "Dataset\tVersion\tscore\tevaluation\n";
+        // Lone trailing backslash.
+        let err =
+            ProvenanceStore::from_tsv(s.clone(), &format!("{base}Iris\\\t1\t-\tsucceed\n"))
+                .unwrap_err();
+        assert!(matches!(err, TsvError::Escape { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("malformed backslash escape"));
+        // Unknown escape pair.
+        let err = ProvenanceStore::from_tsv(s, &format!("{base}\\qIris\t1\t-\tsucceed\n"))
+            .unwrap_err();
+        assert!(matches!(err, TsvError::Escape { .. }));
+    }
+
+    #[test]
+    fn escape_helpers_invert() {
+        for s in ["", "a", "a\\tb", "\\\\", "plain text", "\t\n\r\\ all"] {
+            let mut escaped = String::new();
+            escape_tsv_into(s, &mut escaped);
+            assert_eq!(unescape_tsv(&escaped).as_deref(), Some(s));
+            assert!(!escaped.contains('\t') && !escaped.contains('\n'));
+        }
+        assert_eq!(unescape_tsv("bad\\"), None);
+        assert_eq!(unescape_tsv("\\x"), None);
+        assert_eq!(unescape_tsv("ok\\t"), Some("ok\t".to_string()));
     }
 }

@@ -57,6 +57,7 @@ use crate::pipeline::{Pipeline, PipelineError, SimTime};
 use bugdoc_core::{
     hash_dense_key, EvalResult, Instance, Outcome, ParamSpace, ProvenanceStore, Run,
 };
+use bugdoc_store::{DurableStore, PersistConfig, PersistError, Recovery};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
@@ -129,6 +130,12 @@ pub struct ExecutorConfig {
     pub budget: Option<usize>,
     /// Bound on the read cache's memory (default: unbounded).
     pub memory: MemoryBudget,
+    /// Durable provenance (default: off). When set, the executor recovers
+    /// any history already in the directory at construction (a warm start —
+    /// recovered runs behave exactly like seeded provenance) and tees every
+    /// newly recorded execution to the write-ahead log; see [`PersistConfig`]
+    /// and the `bugdoc-store` crate docs.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -137,6 +144,7 @@ impl Default for ExecutorConfig {
             workers: 5,
             budget: None,
             memory: MemoryBudget::Unbounded,
+            persist: None,
         }
     }
 }
@@ -458,24 +466,78 @@ pub struct Executor {
     provenance: RwLock<ProvenanceStore>,
     cache: ReadCache,
     stats: AtomicStats,
+    /// The durable-provenance writer, when persistence is configured. Locked
+    /// only on the new-execution record path (never on cache hits), always
+    /// while the provenance write lock is held, so WAL frame order equals
+    /// run-log order.
+    persist: Option<Mutex<DurableStore>>,
+    /// What recovery found at construction (persistence only).
+    recovery: Option<Recovery>,
 }
 
 impl Executor {
     /// Creates an executor with an empty history.
+    ///
+    /// Panics if [`ExecutorConfig::persist`] is set and the durable store
+    /// cannot be opened; use [`Executor::try_new`] to handle that.
     pub fn new(pipeline: Arc<dyn Pipeline>, config: ExecutorConfig) -> Self {
-        let provenance = ProvenanceStore::new(pipeline.space().clone());
-        Executor::with_provenance(pipeline, config, provenance)
+        Executor::try_new(pipeline, config)
+            .unwrap_or_else(|e| panic!("cannot open durable provenance: {e}"))
     }
 
     /// Creates an executor pre-seeded with previously-run instances. Seeded
     /// runs do not count against the budget or the execution statistics.
+    ///
+    /// Panics if [`ExecutorConfig::persist`] is set and the durable store
+    /// cannot be opened; use [`Executor::try_with_provenance`] to handle
+    /// that.
     pub fn with_provenance(
         pipeline: Arc<dyn Pipeline>,
         config: ExecutorConfig,
         provenance: ProvenanceStore,
     ) -> Self {
-        let cache = ReadCache::new(config.memory);
+        Executor::try_with_provenance(pipeline, config, provenance)
+            .unwrap_or_else(|e| panic!("cannot open durable provenance: {e}"))
+    }
+
+    /// Like [`Executor::new`], surfacing durable-store errors.
+    pub fn try_new(
+        pipeline: Arc<dyn Pipeline>,
+        config: ExecutorConfig,
+    ) -> Result<Self, PersistError> {
+        let provenance = ProvenanceStore::new(pipeline.space().clone());
+        Executor::try_with_provenance(pipeline, config, provenance)
+    }
+
+    /// Like [`Executor::with_provenance`], surfacing durable-store errors.
+    ///
+    /// With persistence configured this is the **warm-start path**: the
+    /// directory's existing history is recovered first, then the caller's
+    /// seed runs are merged in (novel ones are appended to the WAL), and the
+    /// union seeds the executor. Seeded and recovered runs alike are
+    /// answered as cache hits, so
+    /// `new_executions == provenance.len() - seeded` keeps holding.
+    pub fn try_with_provenance(
+        pipeline: Arc<dyn Pipeline>,
+        config: ExecutorConfig,
+        provenance: ProvenanceStore,
+    ) -> Result<Self, PersistError> {
         let space = pipeline.space().clone();
+        let (provenance, persist, recovery) = match &config.persist {
+            None => (provenance, None, None),
+            Some(persist_config) => {
+                let (mut recovered, mut durable, recovery) =
+                    DurableStore::open(&space, persist_config)?;
+                for run in provenance.runs() {
+                    if recovered.record(run.instance.clone(), run.eval) {
+                        let stored = recovered.runs().last().expect("just recorded");
+                        durable.append_with_snapshot(stored, &recovered)?;
+                    }
+                }
+                (recovered, Some(Mutex::new(durable)), Some(recovery))
+            }
+        };
+        let cache = ReadCache::new(config.memory);
         for run in provenance.runs() {
             let key: Option<Box<[u32]>> = run
                 .instance
@@ -490,12 +552,63 @@ impl Executor {
                 cache.insert(fp, key, run.outcome());
             }
         }
-        Executor {
+        Ok(Executor {
             pipeline,
             config,
             provenance: RwLock::new(provenance),
             cache,
             stats: AtomicStats::default(),
+            persist,
+            recovery,
+        })
+    }
+
+    /// What crash recovery found when the durable store was opened (`None`
+    /// when persistence is off).
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.recovery
+    }
+
+    /// Tees the just-recorded last run of `prov` to the write-ahead log.
+    /// Called with the provenance write lock held so frame order matches
+    /// run-log order; a no-op (one `None` check) when persistence is off.
+    /// Returns whether a snapshot is due — the caller triggers it via
+    /// [`Executor::persist_snapshot_if_due`] *after* releasing the write
+    /// lock, so serializing the whole store (and its fsync) never stalls
+    /// the worker pool behind the exclusive lock.
+    /// An I/O failure here panics: the executor cannot honor its durability
+    /// contract, and continuing would silently fork disk from memory.
+    fn persist_record(&self, prov: &ProvenanceStore) -> bool {
+        match &self.persist {
+            None => false,
+            Some(persist) => {
+                let run = prov.runs().last().expect("a run was just recorded");
+                let mut durable = persist.lock();
+                durable
+                    .append(run, prov.space())
+                    .unwrap_or_else(|e| panic!("durable provenance write failed: {e}"));
+                durable.snapshot_due()
+            }
+        }
+    }
+
+    /// Writes the due snapshot under a provenance *read* lock (every
+    /// record's WAL append happened under the write lock, so a read-locked
+    /// store is exactly the appended prefix — the snapshot is consistent
+    /// with the log position it covers). Racing callers are fine: the due
+    /// flag is re-checked under the persist lock and the loser no-ops.
+    fn persist_snapshot_if_due(&self, due: bool) {
+        if !due {
+            return;
+        }
+        if let Some(persist) = &self.persist {
+            let prov = self.provenance.read();
+            let mut durable = persist.lock();
+            if durable.snapshot_due() {
+                durable
+                    .snapshot(&prov)
+                    .unwrap_or_else(|e| panic!("durable provenance snapshot failed: {e}"));
+            }
         }
     }
 
@@ -658,7 +771,12 @@ impl Executor {
         let cost = self.pipeline.cost(instance);
         match result {
             Ok(eval) => {
-                let fresh = self.provenance.write().record(instance.clone(), eval);
+                let (fresh, snapshot_due) = {
+                    let mut prov = self.provenance.write();
+                    let fresh = prov.record(instance.clone(), eval);
+                    (fresh, fresh && self.persist_record(&prov))
+                };
+                self.persist_snapshot_if_due(snapshot_due);
                 if fresh {
                     self.stats.add_sim_time(cost);
                     if let Some((fp, k)) = key {
@@ -779,11 +897,13 @@ impl Executor {
             let mut outcomes = outcomes;
             outcomes.sort_by_key(|(pos, _, _)| *pos);
             let mut executed_costs: Vec<SimTime> = Vec::with_capacity(outcomes.len());
+            let mut snapshot_due = false;
             let mut prov = self.provenance.write();
             for (pos, res, cost) in outcomes {
                 match res {
                     Ok(eval) => {
                         if prov.record(instances[pos].clone(), eval) {
+                            snapshot_due |= self.persist_record(&prov);
                             executed_costs.push(cost);
                             if let Some((fp, k)) = keys[pos] {
                                 self.cache.insert(fp, k.into(), eval.outcome);
@@ -801,6 +921,7 @@ impl Executor {
                 }
             }
             drop(prov);
+            self.persist_snapshot_if_due(snapshot_due);
             self.stats
                 .add_sim_time(makespan(&executed_costs, self.config.workers.max(1)));
             for (i, instance) in instances.iter().enumerate() {
@@ -824,7 +945,12 @@ impl Executor {
         let fp = instance
             .dense_fingerprint()
             .or_else(|| key.as_deref().map(hash_dense_key));
-        let fresh = self.provenance.write().record(instance, eval);
+        let (fresh, snapshot_due) = {
+            let mut prov = self.provenance.write();
+            let fresh = prov.record(instance, eval);
+            (fresh, fresh && self.persist_record(&prov))
+        };
+        self.persist_snapshot_if_due(snapshot_due);
         if fresh {
             if let (Some(k), Some(fp)) = (key, fp) {
                 self.cache.insert(fp, k, eval.outcome);
@@ -1102,6 +1228,7 @@ mod tests {
                 workers: 1,
                 budget: None,
                 memory: MemoryBudget::Entries(6),
+                ..Default::default()
             },
         );
         let all: Vec<_> = (1..=5)
@@ -1139,6 +1266,7 @@ mod tests {
                 workers: 1,
                 budget: None,
                 memory: MemoryBudget::Bytes(4 * 1024),
+                ..Default::default()
             },
         );
         let all: Vec<_> = (1..=5)
@@ -1157,6 +1285,7 @@ mod tests {
                 workers: 1,
                 budget: None,
                 memory: MemoryBudget::Bytes(CACHE_SHARDS * ENTRY_OVERHEAD_BYTES),
+                ..Default::default()
             },
         );
         for i in &all {
@@ -1186,6 +1315,113 @@ mod tests {
         assert_eq!(stats.evictions, 0);
         assert_eq!(stats.log_rederivations, 0);
         assert_eq!(exec.cache_entries(), 25);
+    }
+
+    fn persist_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bugdoc-exec-persist-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persistence_tees_and_warm_starts() {
+        let dir = persist_dir("warm");
+        let s = space();
+        let config = || ExecutorConfig {
+            workers: 2,
+            persist: Some(PersistConfig::new(&dir)),
+            ..Default::default()
+        };
+        let all: Vec<_> = (1..=5)
+            .flat_map(|x| (1..=5).map(move |y| (x, y)))
+            .map(|(x, y)| inst(&s, x, y))
+            .collect();
+        let exec = Executor::new(pipe(&s), config());
+        assert_eq!(exec.recovery(), Some(Default::default()));
+        for i in &all {
+            exec.evaluate(i).unwrap();
+        }
+        assert_eq!(exec.stats().new_executions, 25);
+        drop(exec);
+
+        // A fresh process: everything is recovered, nothing re-executes.
+        let exec = Executor::new(pipe(&s), config());
+        let recovery = exec.recovery().unwrap();
+        assert_eq!(recovery.runs, 25);
+        assert_eq!(recovery.truncated_bytes, 0);
+        for i in &all {
+            let expected = Outcome::from_check(i.get(s.by_name("x").unwrap()) != &Value::from(3));
+            assert_eq!(exec.evaluate(i), Ok(expected));
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.new_executions, 0, "warm start must not re-execute");
+        assert_eq!(stats.cache_hits, 25);
+        assert_eq!(exec.provenance().len(), 25);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_covers_batch_and_external_records() {
+        let dir = persist_dir("batch");
+        let s = space();
+        let config = || ExecutorConfig {
+            workers: 4,
+            persist: Some(PersistConfig {
+                snapshot_every: Some(4),
+                ..PersistConfig::new(&dir)
+            }),
+            ..Default::default()
+        };
+        let exec = Executor::new(pipe(&s), config());
+        let batch: Vec<_> = (1..=5).map(|x| inst(&s, x, 1)).collect();
+        exec.evaluate_batch(&batch);
+        exec.record_external(inst(&s, 1, 5), EvalResult::of(Outcome::Succeed));
+        drop(exec);
+
+        let exec = Executor::new(pipe(&s), config());
+        let recovery = exec.recovery().unwrap();
+        assert_eq!(recovery.runs, 6);
+        assert!(recovery.snapshot_runs > 0, "snapshot_every=4 wrote one");
+        assert_eq!(
+            exec.provenance().outcome_of(&inst(&s, 1, 5)),
+            Some(Outcome::Succeed)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_provenance_merges_into_recovered_history() {
+        let dir = persist_dir("merge");
+        let s = space();
+        let config = || ExecutorConfig {
+            workers: 1,
+            persist: Some(PersistConfig::new(&dir)),
+            ..Default::default()
+        };
+        // First process: two executions.
+        let exec = Executor::new(pipe(&s), config());
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        exec.evaluate(&inst(&s, 3, 1)).unwrap();
+        drop(exec);
+        // Second process seeds a TSV-style store: one overlapping run, one
+        // novel. The novel one must be appended durably.
+        let mut seed = ProvenanceStore::new(s.clone());
+        seed.record(inst(&s, 1, 1), EvalResult::of(Outcome::Succeed));
+        seed.record(inst(&s, 5, 5), EvalResult::of(Outcome::Succeed));
+        let exec = Executor::with_provenance(pipe(&s), config(), seed);
+        assert_eq!(exec.provenance().len(), 3);
+        drop(exec);
+        // Third process sees the union.
+        let exec = Executor::new(pipe(&s), config());
+        assert_eq!(exec.recovery().unwrap().runs, 3);
+        assert_eq!(
+            exec.provenance().outcome_of(&inst(&s, 5, 5)),
+            Some(Outcome::Succeed)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

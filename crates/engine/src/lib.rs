@@ -16,3 +16,6 @@ mod pipeline;
 pub use command::{CommandEval, CommandPipeline};
 pub use executor::{ExecError, ExecStats, Executor, ExecutorConfig, MemoryBudget, CACHE_SHARDS};
 pub use pipeline::{FaultInjector, FnPipeline, HistoricalPipeline, Pipeline, PipelineError, SimTime};
+// Durable-provenance vocabulary, re-exported so executor users configure
+// persistence without naming `bugdoc-store` directly.
+pub use bugdoc_store::{PersistConfig, PersistError, Recovery};

@@ -53,6 +53,7 @@ fn hammered_quarter_sized_cache_never_serves_stale_or_reexecutes() {
             workers: 4,
             budget: None,
             memory: MemoryBudget::Entries(all.len() / 4), // 25% of the working set
+            ..Default::default()
         },
     );
 
@@ -121,6 +122,7 @@ fn seeded_provenance_counts_stay_exact_under_eviction() {
             workers: 4,
             budget: None,
             memory: MemoryBudget::Entries(all.len() / 4),
+            ..Default::default()
         },
         prov,
     );
@@ -163,6 +165,7 @@ fn byte_budget_under_contention_is_also_exact() {
             // ~72 bytes/entry × 200 entries ≈ 14 KiB unbounded; 2 KiB forces
             // heavy eviction.
             memory: MemoryBudget::Bytes(2 * 1024),
+            ..Default::default()
         },
     );
     std::thread::scope(|scope| {

@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3 polynomial, the `cksum`/zlib variant), implemented
+//! in-crate: the build environment has no registry access, and a WAL must
+//! not take integrity checking on faith from an optional dependency.
+//!
+//! Standard reflected table-driven implementation: polynomial `0xEDB88320`
+//! (the bit-reversed `0x04C11DB7`), initial value `0xFFFF_FFFF`, final XOR
+//! `0xFFFF_FFFF`. Matches zlib's `crc32()` — the test vectors below are the
+//! published ones ("123456789" → `0xCBF43926`).
+
+/// The 256-entry lookup table for the reflected IEEE polynomial, built at
+/// compile time so the checksum path has no lazy-init branch.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"frame payload with some entropy 0123456789".to_vec();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), good, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

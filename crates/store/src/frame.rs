@@ -1,0 +1,456 @@
+//! The run-record codec shared by the WAL and snapshot files.
+//!
+//! One *record* is one executed instance with its evaluation; one *frame* is
+//! a record's payload wrapped in a `[len: u32 LE][crc32(payload): u32 LE]`
+//! header. See the crate docs for the full byte layout.
+
+use crate::crc32::crc32;
+use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, Run, Value};
+
+/// Upper bound on a frame payload. Real records are tens of bytes; anything
+/// larger than this is read as corruption (a torn length field must not make
+/// recovery attempt a multi-gigabyte allocation).
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Bytes of a frame header: payload length + payload CRC-32.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// The identity half of a record: the dense domain-index encoding when the
+/// instance lies inside its space's declared domains, or the raw values when
+/// it does not (the provenance store's overflow path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKey {
+    /// One domain index per parameter, in parameter order.
+    Dense(Box<[u32]>),
+    /// Raw values for an instance that cannot be densely encoded.
+    Raw(Vec<Value>),
+}
+
+/// One run, in serializable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The instance identity.
+    pub key: RecordKey,
+    /// The binary evaluation.
+    pub outcome: Outcome,
+    /// The raw score the evaluation thresholded, if any.
+    pub score: Option<f64>,
+}
+
+/// Why a frame payload could not be decoded (all variants read as
+/// corruption by recovery: the log is truncated at the offending frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended mid-field.
+    Truncated,
+    /// An unknown kind/outcome/value tag byte.
+    BadTag(u8),
+    /// A string value was not UTF-8.
+    BadUtf8,
+    /// A float value was NaN (rejected by [`Value::float`]'s domain).
+    NanValue,
+    /// A dense key's arity or a domain index does not fit the space.
+    Domain,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated mid-field"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            DecodeError::BadUtf8 => write!(f, "string value is not UTF-8"),
+            DecodeError::NanValue => write!(f, "float value is NaN"),
+            DecodeError::Domain => write!(f, "dense key does not fit the parameter space"),
+        }
+    }
+}
+
+impl RunRecord {
+    /// The serializable form of a recorded run. Prefers the instance's
+    /// cached dense key; falls back to encoding against `space`; instances
+    /// outside the declared domains serialize their raw values.
+    pub fn from_run(run: &Run, space: &ParamSpace) -> Self {
+        let key = run
+            .instance
+            .dense_key()
+            .map(<Box<[u32]>>::from)
+            .or_else(|| space.encode(&run.instance))
+            .map(RecordKey::Dense)
+            .unwrap_or_else(|| RecordKey::Raw(run.instance.values().to_vec()));
+        RunRecord {
+            key,
+            outcome: run.outcome(),
+            score: run.eval.score,
+        }
+    }
+
+    /// Materializes the record against `space`. Dense keys are validated
+    /// (arity and per-parameter index range) — a key that does not fit is
+    /// [`DecodeError::Domain`], which recovery treats as corruption. Raw
+    /// records become key-less instances and take the provenance store's
+    /// existing overflow path when recorded.
+    pub fn to_run(&self, space: &ParamSpace) -> Result<Run, DecodeError> {
+        let instance = match &self.key {
+            RecordKey::Dense(key) => {
+                if key.len() != space.len() {
+                    return Err(DecodeError::Domain);
+                }
+                for (p, &idx) in space.ids().zip(key.iter()) {
+                    if idx as usize >= space.domain(p).len() {
+                        return Err(DecodeError::Domain);
+                    }
+                }
+                space.instance_from_indices(key)
+            }
+            RecordKey::Raw(values) => Instance::new(values.clone()),
+        };
+        Ok(Run {
+            instance,
+            eval: EvalResult {
+                outcome: self.outcome,
+                score: self.score,
+            },
+        })
+    }
+
+    /// Appends the record's payload bytes (no frame header) to `out`.
+    pub fn encode_payload(&self, out: &mut Vec<u8>) {
+        let (kind, count) = match &self.key {
+            RecordKey::Dense(k) => (0u8, k.len()),
+            RecordKey::Raw(v) => (1u8, v.len()),
+        };
+        out.push(kind);
+        out.push(match self.outcome {
+            Outcome::Succeed => 0,
+            Outcome::Fail => 1,
+        });
+        match self.score {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&s.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(count as u32).to_le_bytes());
+        match &self.key {
+            RecordKey::Dense(key) => {
+                for &idx in key.iter() {
+                    out.extend_from_slice(&idx.to_le_bytes());
+                }
+            }
+            RecordKey::Raw(values) => {
+                for v in values {
+                    encode_value(v, out);
+                }
+            }
+        }
+    }
+
+    /// Decodes a payload produced by [`RunRecord::encode_payload`]. The
+    /// whole payload must be consumed — trailing bytes are corruption.
+    pub fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader { buf: payload, pos: 0 };
+        let kind = r.u8()?;
+        let outcome = match r.u8()? {
+            0 => Outcome::Succeed,
+            1 => Outcome::Fail,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        let score = match r.u8()? {
+            0 => None,
+            1 => Some(f64::from_bits(r.u64()?)),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        let count = r.u32()? as usize;
+        if count > MAX_FRAME_BYTES / 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let key = match kind {
+            0 => {
+                let mut key = Vec::with_capacity(count);
+                for _ in 0..count {
+                    key.push(r.u32()?);
+                }
+                RecordKey::Dense(key.into_boxed_slice())
+            }
+            1 => {
+                let mut values = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    values.push(decode_value(&mut r)?);
+                }
+                RecordKey::Raw(values)
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        if r.pos != payload.len() {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(RunRecord { key, outcome, score })
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Bool(b) => {
+            out.push(0);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(2);
+            out.extend_from_slice(&x.get().to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    match r.u8()? {
+        0 => match r.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            t => Err(DecodeError::BadTag(t)),
+        },
+        1 => Ok(Value::Int(r.u64()? as i64)),
+        2 => {
+            let bits = r.u64()?;
+            let x = f64::from_bits(bits);
+            if x.is_nan() {
+                return Err(DecodeError::NanValue);
+            }
+            Ok(Value::float(x))
+        }
+        3 => {
+            let len = r.u32()? as usize;
+            let bytes = r.bytes(len)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?;
+            Ok(Value::str(s))
+        }
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+/// Appends one full frame (header + payload) for `record` to `out`.
+pub fn append_frame(record: &RunRecord, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; FRAME_HEADER_BYTES]);
+    record.encode_payload(out);
+    let payload_len = out.len() - start - FRAME_HEADER_BYTES;
+    let crc = crc32(&out[start + FRAME_HEADER_BYTES..]);
+    out[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The result of pulling one frame off a byte stream.
+pub enum NextFrame {
+    /// A whole, checksum-valid frame: the decoded record and the offset just
+    /// past it.
+    Frame(RunRecord, usize),
+    /// Clean end of input (offset exactly at the end).
+    End,
+    /// The bytes at the offset are not a valid frame: short header, short
+    /// payload, oversized length, CRC mismatch, or an undecodable payload.
+    /// Recovery truncates here.
+    Torn,
+}
+
+/// Reads the frame starting at `offset` in `bytes`.
+pub fn next_frame(bytes: &[u8], offset: usize) -> NextFrame {
+    if offset == bytes.len() {
+        return NextFrame::End;
+    }
+    if offset + FRAME_HEADER_BYTES > bytes.len() {
+        return NextFrame::Torn;
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return NextFrame::Torn;
+    }
+    let start = offset + FRAME_HEADER_BYTES;
+    let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+        return NextFrame::Torn;
+    };
+    let payload = &bytes[start..end];
+    if crc32(payload) != crc {
+        return NextFrame::Torn;
+    }
+    match RunRecord::decode_payload(payload) {
+        Ok(record) => NextFrame::Frame(record, end),
+        Err(_) => NextFrame::Torn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::ParamSpace;
+
+    fn space() -> std::sync::Arc<ParamSpace> {
+        ParamSpace::builder()
+            .categorical("Dataset", ["Iris", "Digits"])
+            .ordinal("Version", [1, 2, 3])
+            .build()
+    }
+
+    fn roundtrip(record: &RunRecord) -> RunRecord {
+        let mut bytes = Vec::new();
+        append_frame(record, &mut bytes);
+        match next_frame(&bytes, 0) {
+            NextFrame::Frame(got, end) => {
+                assert_eq!(end, bytes.len());
+                got
+            }
+            _ => panic!("frame did not read back"),
+        }
+    }
+
+    #[test]
+    fn dense_record_roundtrips() {
+        let r = RunRecord {
+            key: RecordKey::Dense(vec![1, 2].into_boxed_slice()),
+            outcome: Outcome::Fail,
+            score: Some(0.25),
+        };
+        assert_eq!(roundtrip(&r), r);
+        let run = r.to_run(&space()).unwrap();
+        assert_eq!(run.instance.values(), &["Digits".into(), Value::from(3)]);
+        assert_eq!(run.eval.score, Some(0.25));
+    }
+
+    #[test]
+    fn raw_record_roundtrips_and_overflows() {
+        let r = RunRecord {
+            key: RecordKey::Raw(vec![
+                Value::from("Wine"),
+                Value::from(99),
+                Value::from(true),
+                Value::float(2.5),
+            ]),
+            outcome: Outcome::Succeed,
+            score: None,
+        };
+        assert_eq!(roundtrip(&r), r);
+        let run = r.to_run(&space()).unwrap();
+        assert!(run.instance.dense_key().is_none(), "raw stays key-less");
+    }
+
+    #[test]
+    fn run_record_conversion_roundtrips() {
+        let s = space();
+        let run = Run {
+            instance: s.instance_from_indices(&[0, 1]),
+            eval: EvalResult::from_score_at_least(0.9, 0.6),
+        };
+        let rec = RunRecord::from_run(&run, &s);
+        assert!(matches!(rec.key, RecordKey::Dense(_)));
+        let back = rec.to_run(&s).unwrap();
+        assert_eq!(back.instance, run.instance);
+        assert_eq!(back.eval, run.eval);
+
+        let overflow = Run {
+            instance: Instance::new(vec![Value::from("Wine"), Value::from(7)]),
+            eval: EvalResult::of(Outcome::Fail),
+        };
+        let rec = RunRecord::from_run(&overflow, &s);
+        assert!(matches!(rec.key, RecordKey::Raw(_)));
+        assert_eq!(rec.to_run(&s).unwrap().instance, overflow.instance);
+    }
+
+    #[test]
+    fn out_of_range_dense_key_is_domain_error() {
+        let r = RunRecord {
+            key: RecordKey::Dense(vec![0, 9].into_boxed_slice()),
+            outcome: Outcome::Fail,
+            score: None,
+        };
+        assert_eq!(r.to_run(&space()).unwrap_err(), DecodeError::Domain);
+        let wrong_arity = RunRecord {
+            key: RecordKey::Dense(vec![0].into_boxed_slice()),
+            outcome: Outcome::Fail,
+            score: None,
+        };
+        assert_eq!(wrong_arity.to_run(&space()).unwrap_err(), DecodeError::Domain);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let r = RunRecord {
+            key: RecordKey::Dense(vec![1, 2].into_boxed_slice()),
+            outcome: Outcome::Fail,
+            score: Some(0.5),
+        };
+        let mut bytes = Vec::new();
+        append_frame(&r, &mut bytes);
+        // Flip every byte in turn: the frame must never decode to a
+        // *different* record without tripping the CRC.
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            match next_frame(&corrupt, 0) {
+                NextFrame::Torn => {}
+                NextFrame::Frame(got, _) => {
+                    panic!("byte {i} flipped yet frame decoded as {got:?}")
+                }
+                NextFrame::End => panic!("byte {i}: impossible End"),
+            }
+        }
+        // Truncation at every prefix length is torn, except the empty tail.
+        for cut in 1..bytes.len() {
+            assert!(matches!(next_frame(&bytes[..cut], 0), NextFrame::Torn));
+        }
+        assert!(matches!(next_frame(&bytes, bytes.len()), NextFrame::End));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let r = RunRecord {
+            key: RecordKey::Raw(vec![Value::from(1)]),
+            outcome: Outcome::Succeed,
+            score: None,
+        };
+        let mut payload = Vec::new();
+        r.encode_payload(&mut payload);
+        payload.push(0);
+        assert_eq!(
+            RunRecord::decode_payload(&payload).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+}

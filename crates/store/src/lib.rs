@@ -1,0 +1,639 @@
+//! # bugdoc-store — durable provenance
+//!
+//! BugDoc's central economy is reusing provenance from earlier runs so the
+//! debugger never re-executes a configuration it has already seen (paper
+//! §3's cost measure counts only *new* executions). This crate makes that
+//! history survive the process: a segmented, checksummed **write-ahead log**
+//! of run records, periodic **snapshots** of the whole
+//! [`ProvenanceStore`], and **crash recovery** that truncates torn tails
+//! and rebuilds an exact prefix of what was recorded. `std`-only — no
+//! registry dependencies.
+//!
+//! ## On-disk format (version 1)
+//!
+//! A persist directory holds WAL segments and snapshots side by side:
+//!
+//! ```text
+//! <dir>/wal-00000001.seg      segments, ascending; the log is their
+//! <dir>/wal-00000002.seg      concatenation in name order
+//! <dir>/snap-000000000150.bds snapshots, named by covered run count
+//! ```
+//!
+//! **WAL segment** — 16-byte header (`"BDWALv1\n"` magic, then the space
+//! digest as `u64` LE), then frames. A segment rolls when the next frame
+//! would exceed the configured byte size, so a frame never spans files.
+//!
+//! **Frame** — `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! CRC-32 is the IEEE/zlib polynomial, implemented in
+//! [`crc32`](crc32::crc32). The payload is one run record:
+//!
+//! ```text
+//! kind: u8      0 = dense key, 1 = raw values (overflow instance)
+//! outcome: u8   0 = succeed, 1 = fail
+//! score: u8     0 = none; 1 = present, followed by f64 bits (u64 LE)
+//! count: u32 LE parameters
+//! key           dense: count × u32 LE domain indices
+//!               raw:   count × value (tag u8: 0 bool+1B, 1 int+8B LE,
+//!                      2 float+8B LE bits, 3 str+u32 LE len+UTF-8)
+//! ```
+//!
+//! **Snapshot** — 64-byte header (`"BDSNAPv1"` magic, space digest, epoch
+//! size, run count, WAL segment, WAL offset, retired-epoch watermark — all
+//! `u64` LE — then the CRC-32 of those 56 bytes and 4 zero bytes) followed
+//! by one frame per run in recording order. The header is checksummed
+//! because its WAL position licenses truncation and pruning. Written to a
+//! `.tmp` name, fsynced, and renamed into place (directory fsynced before
+//! any pruning trusts the rename); the newest two are retained so a
+//! damaged snapshot falls back to its predecessor, then to full WAL
+//! replay.
+//!
+//! A `lock` file (holding the owner's pid) guards the directory against
+//! concurrent writers; locks left by dead processes are broken
+//! automatically, live holders are [`PersistError::Locked`]. Recovery also
+//! refuses a log with a missing *middle* segment
+//! ([`PersistError::MissingSegment`]) — concatenating across a hole would
+//! fabricate a history that never existed.
+//!
+//! **Recovery** ([`DurableStore::open`]) loads the newest intact snapshot,
+//! replays the WAL tail from the position it covers (or the whole log when
+//! no snapshot is usable), verifies every frame's CRC and that every dense
+//! key fits the spec's [`ParamSpace`] (raw frames route through the
+//! provenance store's existing overflow path), truncates the log at the
+//! first torn or undecodable frame, and deletes any segments past it —
+//! reopened history is always an exact prefix of what was appended. A
+//! segment or snapshot whose space digest differs from the spec's is a hard
+//! [`PersistError::SpaceMismatch`]: dense keys are meaningless across spec
+//! changes, and silently reinterpreting them would corrupt every downstream
+//! guarantee.
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod frame;
+pub mod snapshot;
+pub mod wal;
+
+pub use frame::{DecodeError, RecordKey, RunRecord};
+pub use wal::{Wal, WalPosition};
+
+use bugdoc_core::{ParamSpace, ProvenanceStore, Run};
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// WAL segment magic bytes.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"BDWALv1\n";
+/// Snapshot magic bytes.
+pub(crate) const SNAP_MAGIC: &[u8; 8] = b"BDSNAPv1";
+/// WAL segment header length: magic + space digest.
+pub(crate) const WAL_HEADER_BYTES: usize = 16;
+
+/// Default segment roll size.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// Where and how to persist provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Directory holding the WAL segments and snapshots (created if absent).
+    pub dir: PathBuf,
+    /// Segment roll size in bytes (default [`DEFAULT_SEGMENT_BYTES`]).
+    pub segment_bytes: u64,
+    /// Write a snapshot every this many appended runs (`None`: only when
+    /// [`DurableStore::snapshot`] is called explicitly).
+    pub snapshot_every: Option<u64>,
+}
+
+impl PersistConfig {
+    /// A config with default segment size and no automatic snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Why a persistence operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An OS-level I/O failure, with the path involved.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A segment or snapshot was written against a different parameter
+    /// space: dense keys cannot be reinterpreted across spec changes.
+    SpaceMismatch {
+        /// Digest of the spec's space.
+        expected: u64,
+        /// Digest found on disk.
+        found: u64,
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// A snapshot file failed validation (recovery falls back automatically;
+    /// this surfaces only from explicit snapshot APIs).
+    CorruptSnapshot,
+    /// A WAL segment is missing from the middle of the log (or the log's
+    /// anchor segment is gone). Replaying across the hole would fabricate a
+    /// history that never existed, so recovery refuses.
+    MissingSegment {
+        /// The segment index recovery expected next.
+        expected: u64,
+        /// The index actually found.
+        found: u64,
+        /// The persist directory.
+        dir: PathBuf,
+    },
+    /// Another live process (or another executor in this process) holds the
+    /// persist directory. Concurrent appenders would interleave frames and
+    /// corrupt the run-order invariant, so opening refuses.
+    Locked {
+        /// The pid recorded in the lock file.
+        pid: u32,
+        /// The lock file.
+        path: PathBuf,
+    },
+}
+
+impl PersistError {
+    pub(crate) fn io(path: &Path, error: std::io::Error) -> Self {
+        PersistError::Io {
+            path: path.to_path_buf(),
+            error,
+        }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            PersistError::SpaceMismatch {
+                expected,
+                found,
+                path,
+            } => write!(
+                f,
+                "{}: persisted provenance belongs to a different parameter space \
+                 (digest {found:#018x}, spec has {expected:#018x}); point persist_dir at a \
+                 fresh directory or restore the original spec",
+                path.display()
+            ),
+            PersistError::CorruptSnapshot => write!(f, "snapshot failed validation"),
+            PersistError::MissingSegment {
+                expected,
+                found,
+                dir,
+            } => write!(
+                f,
+                "{}: WAL segment {expected} is missing (found segment {found} instead); \
+                 the directory lost mid-log history and cannot be recovered as an exact \
+                 prefix — restore the missing segment or start a fresh directory",
+                dir.display()
+            ),
+            PersistError::Locked { pid, path } => write!(
+                f,
+                "{}: persist directory is locked by live process {pid}; two concurrent \
+                 writers would corrupt the log (delete the lock file only if that \
+                 process is truly gone)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A stable fingerprint of a [`ParamSpace`]: parameter names, kinds, and
+/// every domain value, in order. Stamped into every segment and snapshot
+/// header so recovery refuses to decode dense keys against the wrong space.
+pub fn space_digest(space: &ParamSpace) -> u64 {
+    let mut h = bugdoc_core::FxHasher::default();
+    space.len().hash(&mut h);
+    for (_, def) in space.iter() {
+        def.name().hash(&mut h);
+        def.domain().is_ordinal().hash(&mut h);
+        def.domain().len().hash(&mut h);
+        for v in def.domain().values() {
+            v.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// What recovery found when a durable store was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Total runs recovered (snapshot + replayed WAL tail).
+    pub runs: usize,
+    /// Runs loaded from the snapshot (0 when recovery replayed the full log).
+    pub snapshot_runs: usize,
+    /// WAL frames replayed on top of the snapshot.
+    pub replayed_frames: usize,
+    /// Bytes discarded as a torn tail.
+    pub truncated_bytes: u64,
+}
+
+/// The open, appendable durable store: a [`Wal`] tail plus snapshot
+/// bookkeeping. Obtained from [`DurableStore::open`], which performs
+/// recovery first; thereafter every newly recorded run is teed in via
+/// [`DurableStore::append`].
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    digest: u64,
+    wal: Wal,
+    snapshot_every: Option<u64>,
+    appended_since_snapshot: u64,
+    /// Advisory lock file, removed on drop.
+    lock_path: PathBuf,
+}
+
+impl Drop for DurableStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.lock_path);
+    }
+}
+
+/// Takes the directory's advisory lock: a `lock` file created exclusively,
+/// holding this process's pid. A lock left by a *dead* process (checked via
+/// `/proc/<pid>`) is broken and re-taken; a live holder — including another
+/// executor in this very process — is [`PersistError::Locked`].
+fn acquire_lock(dir: &Path) -> Result<PathBuf, PersistError> {
+    use std::io::Write as _;
+    let path = dir.join("lock");
+    for _ in 0..8 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = write!(file, "{}", std::process::id());
+                return Ok(path);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder: Option<u32> = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok());
+                match holder {
+                    Some(pid) if Path::new(&format!("/proc/{pid}")).exists() => {
+                        return Err(PersistError::Locked { pid, path });
+                    }
+                    // Dead holder or unreadable file: break the stale lock
+                    // and retry the exclusive create (racing breakers both
+                    // loop back; one wins the create_new).
+                    _ => match std::fs::remove_file(&path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(PersistError::io(&path, e)),
+                    },
+                }
+            }
+            Err(e) => return Err(PersistError::io(&path, e)),
+        }
+    }
+    Err(PersistError::io(
+        &path,
+        std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "could not acquire persist-directory lock after repeated stale-lock breaks",
+        ),
+    ))
+}
+
+impl DurableStore {
+    /// Opens (or initializes) the durable store at `config.dir` for
+    /// `space`, running crash recovery: newest intact snapshot, WAL-tail
+    /// replay with torn-tail truncation, and domain verification of every
+    /// frame. Returns the recovered [`ProvenanceStore`], the append handle,
+    /// and a [`Recovery`] report.
+    pub fn open(
+        space: &Arc<ParamSpace>,
+        config: &PersistConfig,
+    ) -> Result<(ProvenanceStore, DurableStore, Recovery), PersistError> {
+        std::fs::create_dir_all(&config.dir).map_err(|e| PersistError::io(&config.dir, e))?;
+        let lock_path = acquire_lock(&config.dir)?;
+        match Self::open_locked(space, config) {
+            Ok((store, wal, recovery)) => Ok((
+                store,
+                DurableStore {
+                    dir: config.dir.clone(),
+                    digest: space_digest(space),
+                    wal,
+                    snapshot_every: config.snapshot_every,
+                    appended_since_snapshot: 0,
+                    lock_path,
+                },
+                recovery,
+            )),
+            Err(e) => {
+                // A failed open must not leave the directory locked against
+                // a retry from this same (live) process.
+                let _ = std::fs::remove_file(&lock_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// The recovery body of [`DurableStore::open`]; the caller holds the
+    /// directory lock.
+    fn open_locked(
+        space: &Arc<ParamSpace>,
+        config: &PersistConfig,
+    ) -> Result<(ProvenanceStore, Wal, Recovery), PersistError> {
+        let digest = space_digest(space);
+
+        let (mut store, from, snapshot_runs) =
+            match snapshot::load_latest(&config.dir, digest, space)? {
+                Some(loaded) => (loaded.store, Some(loaded.wal_position), loaded.runs),
+                None => (ProvenanceStore::new(space.clone()), None, 0),
+            };
+
+        let space_for_sink = space.clone();
+        let mut replayed = 0usize;
+        let summary = wal::replay(&config.dir, digest, from, |record| {
+            match record.to_run(&space_for_sink) {
+                Ok(run) => {
+                    store.record(run.instance, run.eval);
+                    replayed += 1;
+                    true
+                }
+                // A dense key that no longer fits the (digest-matched) space
+                // is corruption: truncate here like a torn frame.
+                Err(_) => false,
+            }
+        })?;
+
+        let wal = Wal::open(&config.dir, digest, config.segment_bytes)?;
+        let recovery = Recovery {
+            runs: store.len(),
+            snapshot_runs,
+            replayed_frames: replayed,
+            truncated_bytes: summary.truncated_bytes,
+        };
+        Ok((store, wal, recovery))
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The log-tail position the next appended frame will start at (equally:
+    /// the exclusive end position of everything appended so far).
+    pub fn position(&self) -> WalPosition {
+        self.wal.position()
+    }
+
+    /// Appends one newly recorded run to the WAL. Call in recording order —
+    /// the WAL's frame order is the recovered store's run order.
+    pub fn append(&mut self, run: &Run, space: &ParamSpace) -> Result<(), PersistError> {
+        let record = RunRecord::from_run(run, space);
+        self.wal.append(&record)?;
+        self.appended_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// True when `snapshot_every` appends have accumulated since the last
+    /// snapshot — callers that separate appending (under their write lock)
+    /// from snapshotting (off it) poll this.
+    pub fn snapshot_due(&self) -> bool {
+        matches!(self.snapshot_every, Some(every) if self.appended_since_snapshot >= every)
+    }
+
+    /// Appends a run and, when `snapshot_every` many runs have accumulated
+    /// since the last snapshot, writes one from `store` (which must already
+    /// contain the run). Returns `true` if a snapshot was written.
+    pub fn append_with_snapshot(
+        &mut self,
+        run: &Run,
+        store: &ProvenanceStore,
+    ) -> Result<bool, PersistError> {
+        self.append(run, store.space())?;
+        if self.snapshot_due() {
+            self.snapshot(store)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Writes a snapshot of `store` (covering the WAL up to its current
+    /// tail), fsyncs the WAL first so the covered prefix is durable, and
+    /// prunes WAL segments wholly covered by the *older* retained snapshot.
+    pub fn snapshot(&mut self, store: &ProvenanceStore) -> Result<(), PersistError> {
+        self.wal.sync()?;
+        let pos = self.wal.position();
+        snapshot::write_snapshot(&self.dir, self.digest, store, pos)?;
+        self.appended_since_snapshot = 0;
+        // Both retained snapshots cover at least the segments before the
+        // older one's position; those are now dead weight.
+        let snapshots = snapshot::list_snapshots(&self.dir)?;
+        if snapshots.len() >= 2 {
+            if let Some(older) = snapshot::load_oldest_position(&self.dir)? {
+                self.wal.prune_below(older.segment)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bugdoc_core::{EvalResult, Outcome, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bugdoc-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn space() -> Arc<ParamSpace> {
+        ParamSpace::builder()
+            .ordinal("x", (0..10).collect::<Vec<_>>())
+            .categorical("m", ["a", "b", "c"])
+            .build()
+    }
+
+    fn run_for(s: &Arc<ParamSpace>, xi: u32, mi: u32) -> Run {
+        let instance = s.instance_from_indices(&[xi, mi]);
+        let x = s.by_name("x").unwrap();
+        let outcome = Outcome::from_check(instance.get(x) != &Value::from(7));
+        Run {
+            instance,
+            eval: EvalResult::of(outcome),
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let dir = tmp("reopen");
+        let s = space();
+        let config = PersistConfig::new(&dir);
+        let (store, mut durable, recovery) = DurableStore::open(&s, &config).unwrap();
+        assert_eq!(recovery, Recovery::default());
+        assert!(store.is_empty());
+        let mut live = store;
+        for xi in 0..10 {
+            for mi in 0..3 {
+                let run = run_for(&s, xi, mi);
+                assert!(live.record(run.instance.clone(), run.eval));
+                durable.append(&run, &s).unwrap();
+            }
+        }
+        drop(durable);
+
+        let (recovered, _, recovery) = DurableStore::open(&s, &config).unwrap();
+        assert_eq!(recovery.runs, 30);
+        assert_eq!(recovery.replayed_frames, 30);
+        assert_eq!(recovery.snapshot_runs, 0);
+        assert_eq!(recovered.len(), live.len());
+        assert_eq!(recovered.num_failing(), live.num_failing());
+        for (a, b) in recovered.runs().iter().zip(live.runs()) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.eval, b.eval);
+        }
+    }
+
+    #[test]
+    fn snapshot_plus_tail_replay() {
+        let dir = tmp("snaptail");
+        let s = space();
+        let config = PersistConfig {
+            snapshot_every: Some(10),
+            ..PersistConfig::new(&dir)
+        };
+        let (mut live, mut durable, _) = DurableStore::open(&s, &config).unwrap();
+        let mut snapshots = 0;
+        for xi in 0..10 {
+            for mi in 0..3 {
+                let run = run_for(&s, xi, mi);
+                live.record(run.instance.clone(), run.eval);
+                snapshots += durable.append_with_snapshot(&run, &live).unwrap() as usize;
+            }
+        }
+        assert_eq!(snapshots, 3, "30 runs at snapshot_every=10");
+        drop(durable);
+
+        let (recovered, _, recovery) = DurableStore::open(&s, &config).unwrap();
+        assert_eq!(recovery.runs, 30);
+        assert_eq!(recovery.snapshot_runs, 30, "newest snapshot covers all");
+        assert_eq!(recovery.replayed_frames, 0);
+        assert_eq!(recovered.len(), 30);
+    }
+
+    #[test]
+    fn overflow_instances_persist_via_raw_frames() {
+        let dir = tmp("overflow");
+        let s = space();
+        let config = PersistConfig::new(&dir);
+        let (mut live, mut durable, _) = DurableStore::open(&s, &config).unwrap();
+        let stray = Run {
+            instance: bugdoc_core::Instance::new(vec![Value::from(99), Value::from("zz")]),
+            eval: EvalResult::of(Outcome::Fail),
+        };
+        live.record(stray.instance.clone(), stray.eval);
+        durable.append(&stray, &s).unwrap();
+        let normal = run_for(&s, 1, 1);
+        live.record(normal.instance.clone(), normal.eval);
+        durable.append(&normal, &s).unwrap();
+        drop(durable);
+
+        let (recovered, _, recovery) = DurableStore::open(&s, &config).unwrap();
+        assert_eq!(recovery.runs, 2);
+        assert_eq!(recovered.lookup(&stray.instance).map(|e| e.outcome), Some(Outcome::Fail));
+        assert_eq!(recovered.runs()[0].instance.dense_key(), None, "overflow path");
+        assert!(recovered.runs()[1].instance.dense_key().is_some());
+    }
+
+    #[test]
+    fn space_change_refuses_to_open() {
+        let dir = tmp("specchange");
+        let s = space();
+        let config = PersistConfig::new(&dir);
+        let (_, mut durable, _) = DurableStore::open(&s, &config).unwrap();
+        durable.append(&run_for(&s, 0, 0), &s).unwrap();
+        drop(durable);
+        let other = ParamSpace::builder()
+            .ordinal("x", (0..11).collect::<Vec<_>>()) // one more value
+            .categorical("m", ["a", "b", "c"])
+            .build();
+        let err = DurableStore::open(&other, &config).unwrap_err();
+        assert!(matches!(err, PersistError::SpaceMismatch { .. }));
+        assert!(err.to_string().contains("different parameter space"));
+    }
+
+    #[test]
+    fn directory_lock_refuses_live_holder_and_breaks_stale() {
+        let dir = tmp("lock");
+        let s = space();
+        let config = PersistConfig::new(&dir);
+        let (_, durable, _) = DurableStore::open(&s, &config).unwrap();
+        // A second open while the first handle lives — even in this same
+        // process — must refuse.
+        let err = DurableStore::open(&s, &config).unwrap_err();
+        assert!(matches!(err, PersistError::Locked { .. }), "{err}");
+        assert!(err.to_string().contains("locked by live process"));
+        drop(durable); // releases the lock
+        let (_, durable, _) = DurableStore::open(&s, &config).unwrap();
+        drop(durable);
+        // A stale lock from a dead process is broken automatically. (Pid
+        // u32::MAX - 2 exceeds any real pid_max, so /proc never has it.)
+        std::fs::write(dir.join("lock"), format!("{}", u32::MAX - 2)).unwrap();
+        let (_, durable, _) = DurableStore::open(&s, &config).unwrap();
+        drop(durable);
+        assert!(!dir.join("lock").exists(), "drop released the lock");
+    }
+
+    #[test]
+    fn failed_open_releases_the_lock() {
+        let dir = tmp("lockfail");
+        let s = space();
+        let config = PersistConfig::new(&dir);
+        let (_, mut durable, _) = DurableStore::open(&s, &config).unwrap();
+        durable.append(&run_for(&s, 0, 0), &s).unwrap();
+        drop(durable);
+        let other = ParamSpace::builder().ordinal("z", [1, 2]).build();
+        assert!(matches!(
+            DurableStore::open(&other, &config),
+            Err(PersistError::SpaceMismatch { .. })
+        ));
+        // The failed open must not wedge the directory for the real spec.
+        let (store, _, _) = DurableStore::open(&s, &config).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = space_digest(&space());
+        let b = space_digest(
+            &ParamSpace::builder()
+                .categorical("m", ["a", "b", "c"])
+                .ordinal("x", (0..10).collect::<Vec<_>>())
+                .build(),
+        );
+        let c = space_digest(
+            &ParamSpace::builder()
+                .ordinal("x", (0..10).collect::<Vec<_>>())
+                .categorical("m", ["a", "b", "d"])
+                .build(),
+        );
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, space_digest(&space()));
+    }
+}

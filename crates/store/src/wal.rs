@@ -1,0 +1,519 @@
+//! The segmented write-ahead log: append path, segment rolling, and the
+//! torn-tail-truncating replay scan.
+//!
+//! Segments are named `wal-NNNNNNNN.seg` (zero-padded decimal, ascending;
+//! the log is their concatenation in name order). Each segment starts with a
+//! 16-byte header — magic `BDWALv1\n` then the space digest (`u64` LE) — and
+//! continues with frames (see [`crate::frame`]). A segment rolls when the
+//! next frame would push it past the configured byte size, so every frame
+//! lives wholly inside one segment and a torn write can only damage the tail
+//! of the *last* segment.
+
+use crate::frame::{append_frame, next_frame, NextFrame, RunRecord};
+use crate::{PersistError, WAL_MAGIC, WAL_HEADER_BYTES};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of segment `index`.
+pub(crate) fn segment_name(index: u64) -> String {
+    format!("wal-{index:08}.seg")
+}
+
+/// Parses a segment file name back to its index.
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Segment indices present in `dir`, ascending.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<u64>, PersistError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| PersistError::io(dir, e))? {
+        let entry = entry.map_err(|e| PersistError::io(dir, e))?;
+        if let Some(idx) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push(idx);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn segment_header(digest: u64) -> [u8; WAL_HEADER_BYTES] {
+    let mut h = [0u8; WAL_HEADER_BYTES];
+    h[..8].copy_from_slice(WAL_MAGIC);
+    h[8..].copy_from_slice(&digest.to_le_bytes());
+    h
+}
+
+/// A byte position in the log: `(segment index, offset within segment)`.
+/// Offsets always point at a frame boundary (or the header end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Segment index (`wal-NNNNNNNN.seg`).
+    pub segment: u64,
+    /// Byte offset within the segment.
+    pub offset: u64,
+}
+
+/// The append half of the log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    digest: u64,
+    segment_bytes: u64,
+    seg_index: u64,
+    seg_len: u64,
+    file: File,
+    /// Reusable frame-encoding scratch.
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// Opens the log for appending at its current tail (creating the first
+    /// segment if none exists). Call only after [`replay`] has truncated any
+    /// torn tail — this positions at raw end-of-file.
+    pub fn open(dir: &Path, digest: u64, segment_bytes: u64) -> Result<Wal, PersistError> {
+        let segments = list_segments(dir)?;
+        let (seg_index, create) = match segments.last() {
+            Some(&last) => (last, false),
+            None => (1, true),
+        };
+        let path = dir.join(segment_name(seg_index));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        let mut seg_len = file
+            .metadata()
+            .map_err(|e| PersistError::io(&path, e))?
+            .len();
+        if create || seg_len == 0 {
+            file.write_all(&segment_header(digest))
+                .map_err(|e| PersistError::io(&path, e))?;
+            seg_len = WAL_HEADER_BYTES as u64;
+            crate::snapshot::fsync_dir(dir)?;
+        }
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            digest,
+            segment_bytes: segment_bytes.max(WAL_HEADER_BYTES as u64 + 1),
+            seg_index,
+            seg_len,
+            file,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The position the *next* appended frame will start at.
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            segment: self.seg_index,
+            offset: self.seg_len,
+        }
+    }
+
+    /// Appends one record as a checksummed frame, rolling to a fresh segment
+    /// first when the current one is at its byte size.
+    pub fn append(&mut self, record: &RunRecord) -> Result<(), PersistError> {
+        self.buf.clear();
+        append_frame(record, &mut self.buf);
+        if self.seg_len > WAL_HEADER_BYTES as u64
+            && self.seg_len + self.buf.len() as u64 > self.segment_bytes
+        {
+            self.roll()?;
+        }
+        let path = self.dir.join(segment_name(self.seg_index));
+        self.file
+            .write_all(&self.buf)
+            .map_err(|e| PersistError::io(&path, e))?;
+        self.seg_len += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes buffered OS state to disk (`fsync`). Called at snapshot
+    /// boundaries; per-append fsync would dominate the append cost.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        let path = self.dir.join(segment_name(self.seg_index));
+        self.file.sync_data().map_err(|e| PersistError::io(&path, e))
+    }
+
+    fn roll(&mut self) -> Result<(), PersistError> {
+        self.seg_index += 1;
+        let path = self.dir.join(segment_name(self.seg_index));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        file.write_all(&segment_header(self.digest))
+            .map_err(|e| PersistError::io(&path, e))?;
+        // Make the new directory entry durable: segment names must never
+        // survive out of order, or recovery would see a gap.
+        crate::snapshot::fsync_dir(&self.dir)?;
+        self.file = file;
+        self.seg_len = WAL_HEADER_BYTES as u64;
+        Ok(())
+    }
+
+    /// Deletes every segment whose index is below `keep_from` — segments
+    /// wholly covered by a retained snapshot.
+    pub fn prune_below(&mut self, keep_from: u64) -> Result<usize, PersistError> {
+        let mut removed = 0;
+        for idx in list_segments(&self.dir)? {
+            if idx < keep_from && idx != self.seg_index {
+                let path = self.dir.join(segment_name(idx));
+                std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// What a [`replay`] scan found.
+#[derive(Debug, Default)]
+pub struct ReplaySummary {
+    /// Checksum-valid frames yielded.
+    pub frames: usize,
+    /// Bytes discarded as a torn tail (including any whole later segments).
+    pub truncated_bytes: u64,
+}
+
+/// Replays the log from `from` (or from the first segment's header end when
+/// `None`), calling `sink` for each valid frame in order. On the first torn
+/// or undecodable frame the scan stops, **truncates** the damaged segment at
+/// the last valid frame boundary, and deletes every later segment — so a
+/// reopened log is always an exact prefix of what was appended.
+///
+/// `sink` may reject a record (returning `false`) to signal that the frame
+/// is semantically invalid for the space (e.g. a dense key that no longer
+/// fits); the scan treats that exactly like a torn frame.
+pub fn replay(
+    dir: &Path,
+    digest: u64,
+    from: Option<WalPosition>,
+    mut sink: impl FnMut(RunRecord) -> bool,
+) -> Result<ReplaySummary, PersistError> {
+    let mut summary = ReplaySummary::default();
+    let segments = list_segments(dir)?;
+    let start_seg = from.map(|p| p.segment).unwrap_or(0);
+    // Replayed segment indices must be gapless (and anchored: segment 1 for
+    // a full replay, the covered segment for a snapshot-tail replay). A
+    // missing segment means the directory lost history *in the middle* —
+    // concatenating across the hole would fabricate a log that never
+    // existed, so it is a hard error, never a silent skip.
+    let mut expected_next: Option<u64> = None;
+    let mut torn_at: Option<(usize, u64)> = None; // (position in `segments`, offset)
+    'segments: for (si, &idx) in segments.iter().enumerate() {
+        if idx < start_seg {
+            continue;
+        }
+        let expected = expected_next.unwrap_or(if from.is_some() { start_seg } else { 1 });
+        if idx != expected {
+            return Err(PersistError::MissingSegment {
+                expected,
+                found: idx,
+                dir: dir.to_path_buf(),
+            });
+        }
+        expected_next = Some(idx + 1);
+        let path = dir.join(segment_name(idx));
+        let bytes = std::fs::read(&path).map_err(|e| PersistError::io(&path, e))?;
+        // Header check: a short or mangled header reads as a torn segment
+        // (crash during creation); a *valid* header with a different digest
+        // is a spec mismatch and aborts recovery without destroying data.
+        if bytes.len() < WAL_HEADER_BYTES || bytes[..8] != *WAL_MAGIC {
+            torn_at = Some((si, 0));
+            break 'segments;
+        }
+        let found = u64::from_le_bytes(bytes[8..WAL_HEADER_BYTES].try_into().unwrap());
+        if found != digest {
+            return Err(PersistError::SpaceMismatch {
+                expected: digest,
+                found,
+                path,
+            });
+        }
+        let mut offset = WAL_HEADER_BYTES;
+        if let Some(p) = from {
+            if idx == p.segment {
+                if p.offset as usize > bytes.len() {
+                    // The snapshot claims coverage past this segment's end —
+                    // the tail it covered is gone. Nothing newer to replay.
+                    torn_at = Some((si, bytes.len() as u64));
+                    break 'segments;
+                }
+                offset = (p.offset as usize).max(WAL_HEADER_BYTES);
+            }
+        }
+        loop {
+            match next_frame(&bytes, offset) {
+                NextFrame::End => continue 'segments,
+                NextFrame::Frame(record, next) => {
+                    if !sink(record) {
+                        torn_at = Some((si, offset as u64));
+                        break 'segments;
+                    }
+                    summary.frames += 1;
+                    offset = next;
+                }
+                NextFrame::Torn => {
+                    torn_at = Some((si, offset as u64));
+                    break 'segments;
+                }
+            }
+        }
+    }
+    if let Some((si, offset)) = torn_at {
+        // Truncate the damaged segment to its last valid frame boundary and
+        // drop every later segment wholesale.
+        let path = dir.join(segment_name(segments[si]));
+        let len = std::fs::metadata(&path)
+            .map_err(|e| PersistError::io(&path, e))?
+            .len();
+        summary.truncated_bytes += len.saturating_sub(offset);
+        if offset == 0 {
+            std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+        } else {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| PersistError::io(&path, e))?;
+            file.set_len(offset).map_err(|e| PersistError::io(&path, e))?;
+        }
+        for &idx in &segments[si + 1..] {
+            let path = dir.join(segment_name(idx));
+            let len = std::fs::metadata(&path)
+                .map_err(|e| PersistError::io(&path, e))?
+                .len();
+            summary.truncated_bytes += len;
+            std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::RecordKey;
+    use bugdoc_core::Outcome;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bugdoc-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(i: u32) -> RunRecord {
+        RunRecord {
+            key: RecordKey::Dense(vec![i, i + 1].into_boxed_slice()),
+            outcome: if i % 3 == 0 { Outcome::Fail } else { Outcome::Succeed },
+            score: Some(i as f64 / 10.0),
+        }
+    }
+
+    fn replay_all(dir: &Path, digest: u64) -> (Vec<RunRecord>, ReplaySummary) {
+        let mut got = Vec::new();
+        let summary = replay(dir, digest, None, |r| {
+            got.push(r);
+            true
+        })
+        .unwrap();
+        (got, summary)
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = tmp("roundtrip");
+        let mut wal = Wal::open(&dir, 42, 1 << 20).unwrap();
+        let records: Vec<RunRecord> = (0..100).map(record).collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        drop(wal);
+        let (got, summary) = replay_all(&dir, 42);
+        assert_eq!(got, records);
+        assert_eq!(summary.frames, 100);
+        assert_eq!(summary.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn segments_roll_and_concatenate() {
+        let dir = tmp("roll");
+        // Tiny segments: every few frames roll a new file.
+        let mut wal = Wal::open(&dir, 7, 128).unwrap();
+        let records: Vec<RunRecord> = (0..64).map(record).collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 4, "expected many segments, got {segments:?}");
+        assert_eq!(segments[0], 1);
+        drop(wal);
+        let (got, _) = replay_all(&dir, 7);
+        assert_eq!(got, records);
+        // Reopen appends to the tail, not a fresh segment 1.
+        let mut wal = Wal::open(&dir, 7, 128).unwrap();
+        assert_eq!(wal.position().segment, *segments.last().unwrap());
+        wal.append(&record(64)).unwrap();
+        drop(wal);
+        let (got, _) = replay_all(&dir, 7);
+        assert_eq!(got.len(), 65);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_exactly_once() {
+        let dir = tmp("torn");
+        let mut wal = Wal::open(&dir, 9, 1 << 20).unwrap();
+        for i in 0..10 {
+            wal.append(&record(i)).unwrap();
+        }
+        drop(wal);
+        // Chop 3 bytes off the single segment: the last frame is torn.
+        let path = dir.join(segment_name(1));
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (got, summary) = replay_all(&dir, 9);
+        assert_eq!(got.len(), 9);
+        assert!(summary.truncated_bytes > 0);
+        // The file was truncated at the boundary: a second replay is clean.
+        let (again, summary) = replay_all(&dir, 9);
+        assert_eq!(again.len(), 9);
+        assert_eq!(summary.truncated_bytes, 0);
+        // And appending after recovery resumes at the boundary.
+        let mut wal = Wal::open(&dir, 9, 1 << 20).unwrap();
+        wal.append(&record(99)).unwrap();
+        drop(wal);
+        let (got, _) = replay_all(&dir, 9);
+        assert_eq!(got.len(), 10);
+        assert!(matches!(&got[9].key, RecordKey::Dense(k) if k[0] == 99));
+    }
+
+    #[test]
+    fn corruption_mid_log_drops_later_segments() {
+        let dir = tmp("midcorrupt");
+        let mut wal = Wal::open(&dir, 5, 160).unwrap();
+        for i in 0..40 {
+            wal.append(&record(i)).unwrap();
+        }
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Corrupt one byte in the middle segment's first frame.
+        let victim = dir.join(segment_name(segments[segments.len() / 2]));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[WAL_HEADER_BYTES + 9] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let (got, summary) = replay_all(&dir, 5);
+        assert!(got.len() < 40);
+        assert!(summary.truncated_bytes > 0);
+        // Prefix property: the recovered records are the first `len` appended.
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r, &record(i as u32));
+        }
+        // Later segments are gone; the log ends at the truncation point.
+        let remaining = list_segments(&dir).unwrap();
+        assert!(remaining.len() < segments.len());
+    }
+
+    #[test]
+    fn missing_middle_segment_is_an_error_not_a_splice() {
+        let dir = tmp("gap");
+        let mut wal = Wal::open(&dir, 4, 160).unwrap();
+        for i in 0..40 {
+            wal.append(&record(i)).unwrap();
+        }
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        std::fs::remove_file(dir.join(segment_name(segments[1]))).unwrap();
+        let err = replay(&dir, 4, None, |_| true).unwrap_err();
+        assert!(
+            matches!(err, PersistError::MissingSegment { expected, found, .. }
+                if expected == segments[1] && found == segments[2]),
+            "{err}"
+        );
+        assert!(err.to_string().contains("missing"));
+        // A missing *anchor* segment (full replay not starting at 1) is the
+        // same refusal.
+        std::fs::remove_file(dir.join(segment_name(1))).unwrap();
+        let err = replay(&dir, 4, None, |_| true).unwrap_err();
+        assert!(matches!(err, PersistError::MissingSegment { expected: 1, .. }), "{err}");
+        // But a tail replay anchored past the gap still works.
+        let last = *list_segments(&dir).unwrap().last().unwrap();
+        let mut n = 0;
+        replay(&dir, 4, Some(WalPosition { segment: last, offset: 0 }), |_| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn digest_mismatch_is_an_error_not_truncation() {
+        let dir = tmp("digest");
+        let mut wal = Wal::open(&dir, 1, 1 << 20).unwrap();
+        wal.append(&record(0)).unwrap();
+        drop(wal);
+        let err = replay(&dir, 2, None, |_| true).unwrap_err();
+        assert!(matches!(err, PersistError::SpaceMismatch { .. }));
+        // Nothing was deleted or truncated.
+        let (got, _) = replay_all(&dir, 1);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn replay_from_position_skips_covered_prefix() {
+        let dir = tmp("from");
+        let mut wal = Wal::open(&dir, 3, 1 << 20).unwrap();
+        for i in 0..5 {
+            wal.append(&record(i)).unwrap();
+        }
+        let mid = wal.position();
+        for i in 5..8 {
+            wal.append(&record(i)).unwrap();
+        }
+        drop(wal);
+        let mut got = Vec::new();
+        replay(&dir, 3, Some(mid), |r| {
+            got.push(r);
+            true
+        })
+        .unwrap();
+        assert_eq!(got, (5..8).map(record).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prune_below_removes_covered_segments() {
+        let dir = tmp("prune");
+        let mut wal = Wal::open(&dir, 3, 160).unwrap();
+        for i in 0..40 {
+            wal.append(&record(i)).unwrap();
+        }
+        let pos = wal.position();
+        let before = list_segments(&dir).unwrap().len();
+        let removed = wal.prune_below(pos.segment).unwrap();
+        assert!(removed > 0);
+        assert_eq!(list_segments(&dir).unwrap().len(), before - removed);
+        // The tail from the kept position still replays.
+        let mut got = Vec::new();
+        replay(&dir, 3, Some(WalPosition { segment: pos.segment, offset: 0 }), |r| {
+            got.push(r);
+            true
+        })
+        .unwrap();
+        assert!(!got.is_empty() || pos.offset == WAL_HEADER_BYTES as u64);
+    }
+}

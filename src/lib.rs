@@ -57,6 +57,8 @@
 //!   and the combined [`diagnose`](algorithms::diagnose) driver.
 //! * [`baselines`] — Data X-Ray, Explanation Tables, SMAC, random search.
 //! * [`dtree`], [`qm`] — the decision-tree and Quine–McCluskey substrates.
+//! * [`store`] — durable provenance: a segmented checksummed write-ahead
+//!   log, snapshots, and crash recovery with warm-start diagnosis.
 //! * [`workflow`] — the dynamic pipeline-execution layer: module DAGs with
 //!   swappable, parameterized implementations, plus a real mini-ML substrate.
 //! * [`synth`], [`pipelines`], [`eval`] — the paper's benchmark: synthetic
@@ -73,6 +75,7 @@ pub use bugdoc_engine as engine;
 pub use bugdoc_eval as eval;
 pub use bugdoc_pipelines as pipelines;
 pub use bugdoc_qm as qm;
+pub use bugdoc_store as store;
 pub use bugdoc_synth as synth;
 pub use bugdoc_workflow as workflow;
 
@@ -87,6 +90,7 @@ pub mod prelude {
         Predicate, ProvenanceStore, Value,
     };
     pub use bugdoc_engine::{
-        Executor, ExecutorConfig, FnPipeline, HistoricalPipeline, MemoryBudget, Pipeline, SimTime,
+        Executor, ExecutorConfig, FnPipeline, HistoricalPipeline, MemoryBudget, PersistConfig,
+        Pipeline, Recovery, SimTime,
     };
 }

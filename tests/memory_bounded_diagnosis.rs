@@ -26,6 +26,7 @@ fn assert_bounded_matches_unbounded(
                 workers: 5,
                 budget: None,
                 memory,
+                ..Default::default()
             },
             prov,
         );
