@@ -86,7 +86,11 @@ pub fn random_conjunctions(space: &ParamSpace, n: usize, seed: u64) -> Vec<Conju
 /// * `perf/concurrent_cache_hits_5w` — 5 threads × 200 cache-hit evaluations
 ///   (reported per evaluation), the lock-contention probe;
 /// * `perf/satisfied_by_1k` — support counts for 1 000 candidate conjunctions
-///   over the 10k-run log (reported per conjunction).
+///   over the 10k-run log (reported per conjunction);
+/// * `perf/satisfied_by_many_8x1k` — the same conjunctions through the
+///   batched `support_many` entry point, 8 per call (per conjunction);
+/// * `perf/kernel_and_popcount_64k` — the raw fused AND+popcount kernel over
+///   two 1 024-word operands.
 pub fn bench_hot_paths(c: &mut Criterion) {
     let space = perf_space();
 
@@ -224,6 +228,8 @@ pub fn bench_hot_paths(c: &mut Criterion) {
 
     let prov = provenance_10k(&space);
     let conjunctions = random_conjunctions(&space, 1_000, 17);
+    let prov_many = prov.clone();
+    let batches: Vec<Vec<Conjunction>> = conjunctions.chunks(8).map(<[_]>::to_vec).collect();
     group.bench_function("satisfied_by_1k", move |b| {
         b.iter(|| {
             let mut acc = (0usize, 0usize);
@@ -234,6 +240,36 @@ pub fn bench_hot_paths(c: &mut Criterion) {
             }
             acc
         })
+    });
+
+    // The same 1k conjunctions through the batched entry point, 8 per
+    // `support_many` call — the shape a DDT split evaluation presents
+    // (reported per conjunction, like satisfied_by_1k). The win over the
+    // one-at-a-time figure is the amortized per-epoch block walk.
+    group.bench_function("satisfied_by_many_8x1k", move |b| {
+        b.iter(|| {
+            let mut acc = (0usize, 0usize);
+            for batch in &batches {
+                for (f, s) in prov_many.support_many(batch) {
+                    acc.0 += f;
+                    acc.1 += s;
+                }
+            }
+            acc
+        })
+    });
+
+    // Raw kernel probe: fused AND+popcount over two 1 024-word (64k-bit)
+    // operands — the widest single primitive the epoch scans and outcome
+    // counts lean on, measured without any index structure around it.
+    let ka: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let kb: Vec<u64> = (0..1024u64)
+        .map(|i| (i ^ 0x5bf0_3635).wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+        .collect();
+    group.bench_function("kernel_and_popcount_64k", move |b| {
+        b.iter(|| bugdoc_core::kernels::and_popcount(&ka, &kb))
     });
     group.finish();
 }

@@ -4,7 +4,11 @@
 //! Each `RunSet` is a vector of 64-bit words; run `i` lives at bit
 //! `i % 64` of word `i / 64`. Predicate evaluation over the run log becomes
 //! bitwise AND/OR + popcount over these words instead of per-run
-//! interpretation (see `provenance.rs` for the index layout).
+//! interpretation (see `provenance.rs` for the index layout). The word
+//! loops are the chunked kernels of [`crate::kernels`], shared with the
+//! provenance store's epoch scans.
+
+use crate::kernels;
 
 /// A growable bitset of run indices.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -52,12 +56,9 @@ impl RunSet {
     /// are cleared.
     pub fn and_assign(&mut self, other: &RunSet) {
         let n = self.words.len().min(other.words.len());
-        for k in 0..n {
-            self.words[k] &= other.words[k];
-        }
-        for w in &mut self.words[n..] {
-            *w = 0;
-        }
+        let (head, tail) = self.words.split_at_mut(n);
+        kernels::and_into(head, &other.words);
+        tail.fill(0);
     }
 
     /// Unions in place (`self |= other`).
@@ -65,9 +66,7 @@ impl RunSet {
         if other.words.len() > self.words.len() {
             self.words.resize(other.words.len(), 0);
         }
-        for (k, w) in other.words.iter().enumerate() {
-            self.words[k] |= w;
-        }
+        kernels::or_into(&mut self.words, &other.words);
     }
 
     /// Empties the set, keeping capacity.
@@ -77,29 +76,27 @@ impl RunSet {
 
     /// Number of runs in the set.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(&self.words)
     }
 
     /// True if the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        kernels::is_zero(&self.words)
     }
 
     /// `|self ∩ other|` without allocating.
     pub fn intersection_count(&self, other: &RunSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::and_popcount(&self.words, &other.words)
     }
 
     /// True if the sets share any run.
     pub fn intersects(&self, other: &RunSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .any(|(a, b)| a & b != 0)
+        kernels::and_any(&self.words, &other.words)
+    }
+
+    /// True if every run of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &RunSet) -> bool {
+        !kernels::and_not_any(&self.words, &other.words)
     }
 
     /// ORs `bits` into word `word_idx` (covering runs
@@ -126,17 +123,41 @@ impl RunSet {
         &self.words
     }
 
-    /// ORs a whole word block in at `word_offset` — one resize and one
-    /// vectorizable pass, where a per-word [`or_word`](Self::or_word) loop
-    /// would pay a growth-and-zero check on every word.
+    /// ORs a whole word block in at `word_offset` — a single vectorizable
+    /// pass, where a per-word [`or_word`](Self::or_word) loop would pay a
+    /// growth-and-zero check on every word. Callers pre-size the set (see
+    /// [`grow_words`](Self::grow_words)): a `src` that overruns the
+    /// destination capacity is a caller bug, debug-asserted rather than
+    /// silently absorbed — release builds still grow rather than drop bits.
     pub fn or_words_at(&mut self, word_offset: usize, src: &[u64]) {
         let end = word_offset + src.len();
+        debug_assert!(
+            end <= self.words.len(),
+            "or_words_at overrun: {} words from offset {word_offset} into a {}-word set \
+             (pre-size with grow_words)",
+            src.len(),
+            self.words.len()
+        );
         if end > self.words.len() {
             self.words.resize(end, 0);
         }
-        for (d, s) in self.words[word_offset..end].iter_mut().zip(src) {
-            *d |= s;
+        kernels::or_into(&mut self.words[word_offset..end], src);
+    }
+
+    /// Grows the backing storage to at least `words` zero-filled words
+    /// (never shrinks), so subsequent [`or_words_at`](Self::or_words_at)
+    /// splices and direct word writes stay in capacity.
+    pub fn grow_words(&mut self, words: usize) {
+        if words > self.words.len() {
+            self.words.resize(words, 0);
         }
+    }
+
+    /// Mutable view of the backing words (see [`words`](Self::words)).
+    /// Internal: the epoch query paths write per-epoch accumulator results
+    /// straight into their disjoint word ranges.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Iterates set members in increasing order.
@@ -231,6 +252,34 @@ mod tests {
         b.insert(10);
         a.and_assign(&b);
         assert_eq!(a.ones().collect::<Vec<_>>(), vec![10]);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let mut a = RunSet::new();
+        let mut b = RunSet::new();
+        for i in [3usize, 64, 129] {
+            a.insert(i);
+            b.insert(i);
+        }
+        b.insert(200);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a), "bit past a's storage");
+        a.insert(5);
+        assert!(!a.is_subset_of(&b));
+        assert!(RunSet::new().is_subset_of(&a));
+    }
+
+    #[test]
+    fn or_words_at_within_presized_capacity() {
+        let mut s = RunSet::new();
+        s.grow_words(4);
+        s.or_words_at(1, &[0b101, u64::MAX]);
+        assert_eq!(s.ones().collect::<Vec<_>>().len(), 2 + 64);
+        assert!(s.contains(64) && s.contains(66) && s.contains(128 + 63));
+        // grow_words never shrinks.
+        s.grow_words(1);
+        assert_eq!(s.words().len(), 4);
     }
 
     #[test]

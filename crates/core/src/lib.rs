@@ -29,6 +29,7 @@
 mod bitset;
 mod cause;
 mod fx;
+pub mod kernels;
 mod instance;
 mod outcome;
 mod param;
@@ -43,5 +44,7 @@ pub use instance::{Instance, InstanceDisplay};
 pub use outcome::{EvalResult, Outcome};
 pub use param::{Domain, DomainKind, InstanceIter, ParamDef, ParamId, ParamSpace, ParamSpaceBuilder};
 pub use predicate::{Comparator, Predicate, PredicateDisplay};
-pub use provenance::{EpochSummary, ProvenanceStore, Run, TsvError, DEFAULT_EPOCH_RUNS};
+pub use provenance::{
+    EpochSummary, ProvenanceStore, Run, TsvError, DEFAULT_EPOCH_RUNS, DEFAULT_PARALLEL_MIN_EPOCHS,
+};
 pub use value::{Value, F64};

@@ -320,14 +320,22 @@ impl ParamSpace {
     /// [`ParamSpace::encode`]); the result carries the encoding. Panics on
     /// arity mismatch or out-of-range indices.
     pub fn instance_from_indices(&self, indices: &[u32]) -> Instance {
+        self.instance_from_owned_indices(indices.to_vec())
+    }
+
+    /// [`instance_from_indices`](Self::instance_from_indices) taking the
+    /// encoding by value, so the instance reuses the caller's buffer instead
+    /// of copying it — worth it on bulk paths (WAL replay materializes one
+    /// encoding per recovered run).
+    pub fn instance_from_owned_indices(&self, indices: Vec<u32>) -> Instance {
         assert_eq!(indices.len(), self.len(), "dense key arity mismatch");
         let values: Vec<Value> = self
             .params
             .iter()
-            .zip(indices)
+            .zip(&indices)
             .map(|(def, &i)| def.domain().value(i as usize).clone())
             .collect();
-        Instance::new_with_dense(values, indices.to_vec())
+        Instance::new_with_dense(values, indices)
     }
 
     /// Size of the Cartesian product of all domains: the number of distinct

@@ -23,11 +23,17 @@
 //!   `u32`s — no `Value` hashing, no instance cloning.
 //! * **Epoch-segmented (parameter, value) run bitsets** — the run log is cut
 //!   into fixed-size *epochs* of [`ProvenanceStore::epoch_runs`] runs. Each
-//!   live epoch owns one flat block of bit words: value `(p, v)`'s bits for
-//!   the epoch live at `block[(offsets[p] + v) * epoch_words ..]`. A
-//!   predicate's satisfying runs are the OR of its allowed values' words; a
-//!   conjunction's are the AND across its predicates — so
-//!   [`support`](ProvenanceStore::support),
+//!   live epoch owns one flat block of bit words, with value `(p, v)`'s row
+//!   at `block[(offsets[p] + v) * epoch_words ..]`. The *in-progress* epoch
+//!   stores raw rows (run `r` sets one bit per parameter); when an epoch
+//!   fills, freezing converts its rows in place to **cumulative prefix-ORs**
+//!   (row `v` = raw rows `0..=v` OR'd). In a frozen block any predicate's
+//!   satisfying runs are a union of at most two contiguous value ranges —
+//!   `=`/`≤`/`>`/`≠` all reduce to ranges over the domain order — and a
+//!   range `[lo, hi]` reads out as `prefix[hi] & !prefix[lo-1]` (just
+//!   `prefix[hi]` when `lo = 0`): 1–4 row reads per predicate regardless of
+//!   domain size. A conjunction ANDs those unions across its predicates via
+//!   the fused [`kernels`] — so [`support`](ProvenanceStore::support),
 //!   [`satisfying_runs`](ProvenanceStore::satisfying_runs), and
 //!   [`succeeding_superset_exists`](ProvenanceStore::succeeding_superset_exists)
 //!   are word-parallel bit operations over the log instead of per-run
@@ -53,9 +59,12 @@ use crate::bitset::RunSet;
 use crate::cause::Conjunction;
 use crate::fx::hash_dense_key;
 use crate::instance::Instance;
+use crate::kernels;
 use crate::outcome::{EvalResult, Outcome};
-use crate::param::ParamSpace;
+use crate::param::{Domain, ParamSpace};
+use crate::predicate::{Comparator, Predicate};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Open-addressing index from dense instance keys to run indices.
@@ -72,8 +81,10 @@ struct KeyIndex {
     /// Packed slots: high 32 bits = fingerprint tag (`fp >> 32`), low 32 =
     /// run index (`EMPTY` marks a free slot). 8 bytes per slot keeps the
     /// table cache-resident at large histories. Slot position is derived
-    /// from the fingerprint's *low* bits, so tag and position are
-    /// independent; a tag match is always confirmed against the arena.
+    /// from the fingerprint's *high* bits — the same bits the tag stores —
+    /// so growth re-derives every position from the stored tag instead of
+    /// rehashing arena rows; a tag match is still always confirmed against
+    /// the arena, so lookups stay exact under collisions.
     slots: Vec<u64>,
     mask: usize,
     len: usize,
@@ -89,6 +100,13 @@ const FREE_SLOT: u64 = EMPTY as u64;
 #[inline]
 fn pack_slot(fp: u64, run: u32) -> u64 {
     (fp & 0xFFFF_FFFF_0000_0000) | run as u64
+}
+
+/// Home slot for a fingerprint: its high bits (the stored tag), masked.
+/// Shared by probe, insert, and growth so all three agree.
+#[inline]
+fn home_slot(fp: u64, mask: usize) -> usize {
+    (fp >> 32) as usize & mask
 }
 
 impl KeyIndex {
@@ -108,41 +126,53 @@ impl KeyIndex {
         &self.arena[r * self.arity..(r + 1) * self.arity]
     }
 
-    /// The run whose instance has dense key `key`, given `key`'s fingerprint.
-    /// Exact: every tag match is confirmed against the stored key bytes.
+    /// One probe serving both lookup and insert: `Ok(run)` when the key is
+    /// present, `Err(free_slot)` with the slot its probe chain ended at —
+    /// exactly where an insert of this key belongs. Exact: every tag match
+    /// is confirmed against the stored key bytes. The returned slot is
+    /// valid only until the table next grows.
     #[inline]
-    fn get(&self, fp: u64, key: &[u32]) -> Option<usize> {
+    fn probe(&self, fp: u64, key: &[u32]) -> Result<usize, usize> {
         let tag = fp & 0xFFFF_FFFF_0000_0000;
-        let mut i = fp as usize & self.mask;
+        let mut i = home_slot(fp, self.mask);
         loop {
             let slot = self.slots[i];
             let run = slot as u32;
             if run == EMPTY {
-                return None;
+                return Err(i);
             }
             if slot & 0xFFFF_FFFF_0000_0000 == tag && self.row(run as usize) == key {
-                return Some(run as usize);
+                return Ok(run as usize);
             }
             i = (i + 1) & self.mask;
         }
     }
 
+    /// The run whose instance has dense key `key`, given `key`'s fingerprint.
+    #[inline]
+    fn get(&self, fp: u64, key: &[u32]) -> Option<usize> {
+        self.probe(fp, key).ok()
+    }
+
     /// Appends run `run`'s key row (callers append rows strictly in run
-    /// order) and indexes it. The key must be absent (checked by `get`) and
-    /// `run` must be below [`EMPTY`].
-    fn insert(&mut self, fp: u64, run: u32, key: &[u32]) {
+    /// order) and indexes it at `slot` — the free slot a just-completed
+    /// [`probe`](Self::probe) miss returned, so the record hot path pays one
+    /// chain walk, not two. The key must be absent and `run` below
+    /// [`EMPTY`]. If the insert triggers growth the slot is re-derived
+    /// under the new mask.
+    fn insert_at(&mut self, mut slot: usize, fp: u64, run: u32, key: &[u32]) {
         debug_assert_eq!(key.len(), self.arity);
         debug_assert_eq!(self.arena.len(), run as usize * self.arity);
         assert!(run < EMPTY, "run index overflow");
         self.arena.extend_from_slice(key);
         if (self.len + 1) * 2 > self.slots.len() {
             self.grow();
+            slot = self
+                .probe(fp, key)
+                .expect_err("key inserted twice: probe hit after grow");
         }
-        let mut i = fp as usize & self.mask;
-        while self.slots[i] as u32 != EMPTY {
-            i = (i + 1) & self.mask;
-        }
-        self.slots[i] = pack_slot(fp, run);
+        debug_assert_eq!(self.slots[slot] as u32, EMPTY, "insert into occupied slot");
+        self.slots[slot] = pack_slot(fp, run);
         self.len += 1;
     }
 
@@ -154,29 +184,150 @@ impl KeyIndex {
         self.arena.extend(std::iter::repeat(0).take(self.arity));
     }
 
+    /// Pre-sizes for `additional` further inserts: the arena reserves their
+    /// key rows and the slot table jumps straight to its final size, so a
+    /// bulk load (snapshot restore, WAL replay) pays zero intermediate
+    /// grow-and-rehash passes.
+    fn reserve(&mut self, additional: usize) {
+        self.arena.reserve(additional * self.arity);
+        let needed = (self.len + additional + 1) * 2;
+        if needed > self.slots.len() {
+            self.grow_to(needed.next_power_of_two());
+        }
+    }
+
     fn grow(&mut self) {
-        let new_cap = self.slots.len() * 2;
+        // Quadruple while small: a doubling schedule re-places every slot
+        // O(log n) times, and below this size the table is cache-resident
+        // anyway, so the larger steps cost nothing but skipped rehashes.
+        let new_cap = if self.slots.len() <= 4096 {
+            self.slots.len() * 4
+        } else {
+            self.slots.len() * 2
+        };
+        self.grow_to(new_cap);
+    }
+
+    fn grow_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two() && new_cap > self.slots.len());
         let old = std::mem::replace(&mut self.slots, vec![FREE_SLOT; new_cap]);
         self.mask = new_cap - 1;
         for slot in old {
             if slot as u32 == EMPTY {
                 continue;
             }
-            // Re-derive the position from the stored run's key: the low
-            // fingerprint bits are not stored, so rehash the arena row.
-            let run = slot as u32;
-            let fp = hash_dense_key(self.row(run as usize));
-            let mut i = fp as usize & self.mask;
+            // The home position is derived from the tag bits the slot
+            // already stores, so growth never rehashes arena rows — it just
+            // re-derives positions under the wider mask.
+            let mut i = home_slot(slot, self.mask);
             while self.slots[i] as u32 != EMPTY {
                 i = (i + 1) & self.mask;
             }
-            self.slots[i] = pack_slot(fp, run);
+            self.slots[i] = slot;
         }
     }
 }
 
-/// Default runs per epoch of the segmented value index (see the module docs).
-pub const DEFAULT_EPOCH_RUNS: usize = 4096;
+/// Default runs per epoch of the segmented value index (see the module
+/// docs). Sized so the expensive part of a query — the raw-row scan of the
+/// in-progress epoch — stays a few words per value row, while frozen
+/// (prefix-encoded) epochs answer predicates in 1–4 row reads each.
+pub const DEFAULT_EPOCH_RUNS: usize = 1024;
+
+/// Default minimum number of *full* epochs before an indexed query fans out
+/// across query workers. Below this, thread spawn/join overhead exceeds the
+/// scan itself, so small logs always take the sequential path.
+pub const DEFAULT_PARALLEL_MIN_EPOCHS: usize = 8;
+
+/// Observability counters for the epoch query paths, updated by `support`,
+/// `support_many`, `satisfying_runs`, and `succeeding_superset_exists`
+/// (atomics, so `&self` queries can count and worker threads can share
+/// them). Cloning a store snapshots the current values.
+#[derive(Debug, Default)]
+struct QueryStats {
+    /// Indexed queries that took the parallel fan-out path.
+    parallel_epoch_queries: AtomicU64,
+    /// Epochs (full + in-progress) visited by indexed queries.
+    epochs_scanned: AtomicU64,
+}
+
+impl Clone for QueryStats {
+    fn clone(&self) -> Self {
+        QueryStats {
+            parallel_epoch_queries: AtomicU64::new(
+                self.parallel_epoch_queries.load(Ordering::Relaxed),
+            ),
+            epochs_scanned: AtomicU64::new(self.epochs_scanned.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A predicate's allowed value indices as maximal contiguous inclusive
+/// `[lo, hi]` ranges, ascending. Every comparator's extension over a domain
+/// is at most two ranges — equality is a point, its complement two pieces,
+/// `≤`/`>` a prefix/suffix of the sorted ordinal order — so the common case
+/// stores inline without allocating; only the degenerate fallback (an order
+/// comparator applied to an unordered domain) can spill.
+enum Ranges {
+    Inline(u8, [(u32, u32); 2]),
+    Spill(Vec<(u32, u32)>),
+}
+
+impl Ranges {
+    const EMPTY: Ranges = Ranges::Inline(0, [(0, 0); 2]);
+
+    fn push(&mut self, r: (u32, u32)) {
+        match self {
+            Ranges::Inline(n, arr) => {
+                if (*n as usize) < arr.len() {
+                    arr[*n as usize] = r;
+                    *n += 1;
+                } else {
+                    let mut v = arr.to_vec();
+                    v.push(r);
+                    *self = Ranges::Spill(v);
+                }
+            }
+            Ranges::Spill(v) => v.push(r),
+        }
+    }
+
+    fn as_slice(&self) -> &[(u32, u32)] {
+        match self {
+            Ranges::Inline(n, arr) => &arr[..*n as usize],
+            Ranges::Spill(v) => v,
+        }
+    }
+}
+
+/// One predicate of a conjunction, resolved against the store's index
+/// layout: its flat-index base, its allowed values as contiguous ranges,
+/// and (when some epoch is retired) a bitmap of those values for arena
+/// scans. In a frozen (prefix-encoded) block a range `[lo, hi]` is the term
+/// `prefix[hi] & !prefix[lo-1]` (just `prefix[hi]` when `lo = 0`); in the
+/// raw current block it is an OR over rows `lo..=hi`.
+struct PredPlan {
+    base: usize,
+    param: usize,
+    ranges: Ranges,
+    mask: Vec<u64>,
+}
+
+/// Reusable scratch for the per-predicate term slices of frozen-epoch scans
+/// (borrowed prefix rows of the epoch block under evaluation).
+#[derive(Default)]
+struct TermScratch<'s> {
+    full: Vec<&'s [u64]>,
+    diff: Vec<(&'s [u64], &'s [u64])>,
+}
+
+/// `words[at..]`, or empty when `at` is past the end — the outcome-bitset
+/// window of an epoch (outcome sets stop growing at the last run of their
+/// kind, so an epoch's window may be short or absent).
+#[inline]
+fn words_from(words: &[u64], at: usize) -> &[u64] {
+    words.get(at..).unwrap_or(&[])
+}
 
 /// The summary a retired epoch's bit block is folded into: exact run counts,
 /// enough to prune queries that cannot match the epoch, while the epoch's
@@ -236,15 +387,21 @@ pub struct ProvenanceStore {
     /// Words per value per epoch: `epoch_runs / 64`.
     epoch_words: usize,
     /// Value-bit blocks of *completed* epochs (`total_values * epoch_words`
-    /// words each, frozen from `current` when the epoch fills); `None` once
-    /// the epoch is retired by compaction.
+    /// words each, prefix-OR encoded — see the module docs — and frozen from
+    /// `current` when the epoch fills); `None` once the epoch is retired by
+    /// compaction.
     blocks: Vec<Option<Box<[u64]>>>,
     /// Summary counts of retired epochs (`None` while the block is live).
     summaries: Vec<Option<EpochSummary>>,
-    /// The in-progress epoch's per-value bitsets, indexed by epoch-relative
-    /// run position. Growable `RunSet`s keep the record path free of bulk
-    /// zeroing; the word capacity is recycled from epoch to epoch.
-    current: Vec<RunSet>,
+    /// The in-progress epoch's *raw* value rows, one flat pre-zeroed block
+    /// in the same `(offsets[p] + v) * epoch_words` layout as a frozen
+    /// block: recording a run is one `|=` per parameter, and freezing is a
+    /// move plus the in-place prefix conversion.
+    current: Vec<u64>,
+    /// Runs in the in-progress epoch — always `runs.len() % epoch_runs`,
+    /// carried as a counter so the record hot path never divides by the
+    /// (runtime-chosen, not necessarily power-of-two) epoch size.
+    tail_runs: usize,
     /// When set, `record` retires all but the newest this-many full epochs
     /// as soon as a new epoch opens.
     max_live_epochs: Option<usize>,
@@ -259,6 +416,14 @@ pub struct ProvenanceStore {
     /// Same runs as `overflow`, as a set — arena scans over retired epochs
     /// use it to skip the zero-filled rows.
     overflow_bits: RunSet,
+    /// Worker threads indexed queries may fan full epochs out across
+    /// (1 = always sequential; see [`set_query_workers`](Self::set_query_workers)).
+    query_workers: usize,
+    /// Full epochs required before a query parallelizes
+    /// ([`DEFAULT_PARALLEL_MIN_EPOCHS`] by default).
+    parallel_min_epochs: usize,
+    /// Parallelism/coverage counters (see [`query_counters`](Self::query_counters)).
+    query_stats: QueryStats,
 }
 
 impl ProvenanceStore {
@@ -294,47 +459,96 @@ impl ProvenanceStore {
             epoch_words: epoch_runs / 64,
             blocks: Vec::new(),
             summaries: Vec::new(),
-            current: vec![RunSet::new(); total as usize],
+            current: vec![0u64; total as usize * (epoch_runs / 64)],
+            tail_runs: 0,
             max_live_epochs: None,
             fail_bits: RunSet::new(),
             succeed_bits: RunSet::new(),
             overflow: Vec::new(),
             overflow_bits: RunSet::new(),
+            query_workers: 1,
+            parallel_min_epochs: DEFAULT_PARALLEL_MIN_EPOCHS,
+            query_stats: QueryStats::default(),
         }
     }
 
-    /// Freezes the just-completed epoch: copies `current`'s per-value
-    /// bitsets into one flat word block (the query fast path), clears
-    /// `current` for the next epoch (keeping word capacity), and applies the
+    /// Sets how many worker threads indexed queries (`support`,
+    /// `support_many`, `satisfying_runs`, `succeeding_superset_exists`) may
+    /// fan frozen/retired epochs out across. Values ≤ 1 keep every query
+    /// sequential. Parallelism only engages on logs with at least the
+    /// [parallel epoch threshold](Self::set_parallel_epoch_threshold) of
+    /// full epochs — small logs never pay thread overhead — and results are
+    /// bit-identical to the sequential path: epochs are disjoint word
+    /// ranges, merged deterministically.
+    pub fn set_query_workers(&mut self, workers: usize) {
+        self.query_workers = workers.max(1);
+    }
+
+    /// The configured query worker count (1 = sequential).
+    pub fn query_workers(&self) -> usize {
+        self.query_workers
+    }
+
+    /// Overrides the minimum number of full epochs before indexed queries
+    /// parallelize (default [`DEFAULT_PARALLEL_MIN_EPOCHS`]). Mainly for
+    /// tests and tuning; lowering it on small logs trades thread overhead
+    /// for nothing.
+    pub fn set_parallel_epoch_threshold(&mut self, min_full_epochs: usize) {
+        self.parallel_min_epochs = min_full_epochs.max(1);
+    }
+
+    /// `(parallel_epoch_queries, epochs_scanned)`: how many indexed queries
+    /// took the parallel fan-out path, and how many epochs (full +
+    /// in-progress) indexed queries have visited in total.
+    pub fn query_counters(&self) -> (u64, u64) {
+        (
+            self.query_stats.parallel_epoch_queries.load(Ordering::Relaxed),
+            self.query_stats.epochs_scanned.load(Ordering::Relaxed),
+        )
+    }
+
+    /// True when a query over `full` frozen/retired epochs should fan out.
+    #[inline]
+    fn use_parallel(&self, full_epochs: usize) -> bool {
+        self.query_workers > 1 && full_epochs >= self.parallel_min_epochs
+    }
+
+    /// Bumps the query counters for one indexed query over the whole log.
+    fn note_query(&self, full_epochs: usize, parallel: bool) {
+        let partial = usize::from(self.runs.len() % self.epoch_runs != 0);
+        self.query_stats
+            .epochs_scanned
+            .fetch_add((full_epochs + partial) as u64, Ordering::Relaxed);
+        if parallel {
+            self.query_stats
+                .parallel_epoch_queries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Freezes the just-completed epoch: moves the flat `current` block out
+    /// (a fresh zeroed block replaces it), converts each parameter's raw
+    /// value rows to cumulative prefix-ORs in place (row `v` |= row `v-1`,
+    /// ascending — the frozen-block query encoding), and applies the
     /// auto-compaction bound if one is set. Called exactly when
     /// `runs.len()` reaches an epoch boundary.
     fn freeze_current_epoch(&mut self) {
         let w = self.epoch_words;
-        let mut block = vec![0u64; self.total_values as usize * w].into_boxed_slice();
-        for (slot, bits) in self.current.iter_mut().enumerate() {
-            let words = bits.words();
-            block[slot * w..slot * w + words.len()].copy_from_slice(words);
-            bits.clear();
+        let total = self.total_values as usize;
+        let mut block = std::mem::replace(&mut self.current, vec![0u64; total * w]).into_boxed_slice();
+        for (p, &base) in self.space.ids().zip(&self.offsets) {
+            let len = self.space.domain(p).len();
+            for v in 1..len {
+                let at = (base as usize + v) * w;
+                let (head, tail) = block.split_at_mut(at);
+                kernels::or_into(&mut tail[..w], &head[at - w..]);
+            }
         }
         self.blocks.push(Some(block));
         self.summaries.push(None);
         if let Some(keep) = self.max_live_epochs {
             self.compact(keep);
         }
-    }
-
-    /// The dense key for an instance: the cached one when present (debug-
-    /// asserted against the space), else freshly encoded.
-    fn key_of(&self, instance: &Instance) -> Option<Box<[u32]>> {
-        if let Some(k) = instance.dense_key() {
-            debug_assert_eq!(
-                Some(k),
-                self.space.encode(instance).as_deref(),
-                "instance carries a dense key inconsistent with this store's space"
-            );
-            return Some(k.into());
-        }
-        self.space.encode(instance)
     }
 
     /// Run index of an unencodable instance, by value equality.
@@ -345,140 +559,294 @@ impl ProvenanceStore {
             .find(|&i| &self.runs[i].instance == instance)
     }
 
+    /// A predicate's extension as contiguous ranges, without scanning the
+    /// domain: equality and its complement are one hash probe
+    /// ([`Domain::exact_index_of`] — the same `==` semantics
+    /// [`Predicate::allowed_indices`] applies), `≤`/`>` on an ordinal domain
+    /// are a `partition_point` over the values (sorted by the very order the
+    /// comparator uses). Only an order comparator on an unordered domain —
+    /// constructible but meaningless — falls back to the `O(len)` scan.
+    fn pred_ranges(pred: &Predicate, domain: &Domain) -> Ranges {
+        let len = domain.len() as u32;
+        let mut ranges = Ranges::EMPTY;
+        if len == 0 {
+            return ranges;
+        }
+        match pred.cmp {
+            Comparator::Eq => {
+                if let Some(i) = domain.exact_index_of(&pred.value) {
+                    ranges.push((i as u32, i as u32));
+                }
+            }
+            Comparator::Neq => match domain.exact_index_of(&pred.value) {
+                Some(i) => {
+                    let i = i as u32;
+                    if i > 0 {
+                        ranges.push((0, i - 1));
+                    }
+                    if i + 1 < len {
+                        ranges.push((i + 1, len - 1));
+                    }
+                }
+                None => ranges.push((0, len - 1)),
+            },
+            Comparator::Le | Comparator::Gt if domain.is_ordinal() => {
+                let k = domain.values().partition_point(|x| x <= &pred.value) as u32;
+                if pred.cmp == Comparator::Le {
+                    if k > 0 {
+                        ranges.push((0, k - 1));
+                    }
+                } else if k < len {
+                    ranges.push((k, len - 1));
+                }
+            }
+            _ => {
+                // Contiguous-run split of the interpretive extension.
+                let allowed = pred.allowed_indices(domain);
+                debug_assert!(allowed.windows(2).all(|w| w[0] < w[1]));
+                let mut k = 0;
+                while k < allowed.len() {
+                    let lo = allowed[k];
+                    let mut hi = lo;
+                    while k + 1 < allowed.len() && allowed[k + 1] == hi + 1 {
+                        k += 1;
+                        hi = allowed[k];
+                    }
+                    ranges.push((lo as u32, hi as u32));
+                    k += 1;
+                }
+            }
+        }
+        debug_assert_eq!(
+            ranges
+                .as_slice()
+                .iter()
+                .flat_map(|&(lo, hi)| lo as usize..=hi as usize)
+                .collect::<Vec<_>>(),
+            pred.allowed_indices(domain),
+            "range fast path diverged from the interpretive extension"
+        );
+        ranges
+    }
+
+    /// Resolves each predicate of a non-empty conjunction once against the
+    /// index layout. The per-domain value bitmaps only serve the arena-scan
+    /// path, so they are built only when some epoch is actually retired.
+    fn plan_predicates(&self, cause: &Conjunction) -> Vec<PredPlan> {
+        let any_retired = self.summaries.iter().any(Option::is_some);
+        cause
+            .predicates()
+            .iter()
+            .map(|pred| {
+                let domain = self.space.domain(pred.param);
+                let ranges = Self::pred_ranges(pred, domain);
+                let mut mask = if any_retired {
+                    vec![0u64; domain.len().div_ceil(64)]
+                } else {
+                    Vec::new()
+                };
+                if any_retired {
+                    for &(lo, hi) in ranges.as_slice() {
+                        for vi in lo as usize..=hi as usize {
+                            mask[vi / 64] |= 1u64 << (vi % 64);
+                        }
+                    }
+                }
+                PredPlan {
+                    base: self.offsets[pred.param.index()] as usize,
+                    param: pred.param.index(),
+                    ranges,
+                    mask,
+                }
+            })
+            .collect()
+    }
+
+    /// Computes full epoch `e`'s satisfying-run words into `acc`
+    /// (`acc.len() == epoch_words`; `scratch` is reusable scratch for the
+    /// per-predicate term slices). A frozen epoch is an AND-of-unions over
+    /// its prefix-encoded block via the fused term [`kernels`] — each
+    /// predicate costs 1–4 row reads, however many values it allows; a
+    /// retired epoch is a dense-key arena scan against the predicate value
+    /// masks, after a summary-count check that skips epochs which cannot
+    /// match. On return `acc` always holds the exact epoch words (all zero
+    /// when the epoch has no match); the return value is `false` iff no run
+    /// in the epoch satisfies.
+    ///
+    /// Epochs are disjoint word ranges of the run log, so callers — serial
+    /// or fanned out across threads — merge results deterministically.
+    fn epoch_acc_into<'s>(
+        &'s self,
+        e: usize,
+        preds: &[PredPlan],
+        scratch: &mut TermScratch<'s>,
+        acc: &mut [u64],
+    ) -> bool {
+        let w = self.epoch_words;
+        debug_assert_eq!(acc.len(), w);
+        match &self.blocks[e] {
+            Some(words) => {
+                for (pi, p) in preds.iter().enumerate() {
+                    scratch.full.clear();
+                    scratch.diff.clear();
+                    for &(lo, hi) in p.ranges.as_slice() {
+                        let hi_row = (p.base + hi as usize) * w;
+                        if lo == 0 {
+                            scratch.full.push(&words[hi_row..hi_row + w]);
+                        } else {
+                            let lo_row = (p.base + lo as usize - 1) * w;
+                            scratch
+                                .diff
+                                .push((&words[hi_row..hi_row + w], &words[lo_row..lo_row + w]));
+                        }
+                    }
+                    if pi == 0 {
+                        kernels::or_terms_into(acc, &scratch.full, &scratch.diff);
+                    } else {
+                        kernels::and_terms_into(acc, &scratch.full, &scratch.diff);
+                    }
+                    if kernels::is_zero(acc) {
+                        return false;
+                    }
+                }
+                true
+            }
+            None => {
+                acc.fill(0);
+                let summary = self.summaries[e].as_ref().expect("retired epoch has a summary");
+                // A predicate none of whose allowed values occur in the
+                // epoch rules the whole epoch out.
+                if preds.iter().any(|p| {
+                    p.ranges
+                        .as_slice()
+                        .iter()
+                        .flat_map(|&(lo, hi)| lo as usize..=hi as usize)
+                        .all(|vi| summary.value_counts[p.base + vi] == 0)
+                }) {
+                    return false;
+                }
+                let start = e * self.epoch_runs;
+                let end = start + self.epoch_runs;
+                let mut any = false;
+                'rows: for r in start..end {
+                    if self.overflow_bits.contains(r) {
+                        continue;
+                    }
+                    let key = self.by_key.row(r);
+                    for p in preds {
+                        let vi = key[p.param] as usize;
+                        if p.mask[vi / 64] >> (vi % 64) & 1 == 0 {
+                            continue 'rows;
+                        }
+                    }
+                    let in_epoch = r - start;
+                    acc[in_epoch / 64] |= 1u64 << (in_epoch % 64);
+                    any = true;
+                }
+                any
+            }
+        }
+    }
+
+    /// The in-progress epoch's satisfying-run words, into `acc`
+    /// (`acc.len() ==` the epoch's filled word count): an AND-of-ORs over
+    /// the raw value rows of the flat `current` block — raw because the
+    /// prefix conversion only happens at freeze, so here every allowed
+    /// value's row is OR'd, sliced to the filled words. Same contract as
+    /// [`epoch_acc_into`](Self::epoch_acc_into).
+    fn current_acc_into(&self, preds: &[PredPlan], acc: &mut [u64]) -> bool {
+        let w = self.epoch_words;
+        let used = acc.len();
+        let mut srcs: Vec<&[u64]> = Vec::new();
+        for (pi, p) in preds.iter().enumerate() {
+            srcs.clear();
+            for &(lo, hi) in p.ranges.as_slice() {
+                srcs.extend((lo as usize..=hi as usize).map(|vi| {
+                    let base = (p.base + vi) * w;
+                    &self.current[base..base + used]
+                }));
+            }
+            if pi == 0 {
+                kernels::or_multi_into(acc, &srcs);
+            } else {
+                kernels::and_or_multi_into(acc, &srcs);
+            }
+            if kernels::is_zero(acc) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `(failing, succeeding)` counts of the runs in `acc`'s word window
+    /// starting at word `at` of the log — fused AND+popcount against the
+    /// outcome bitsets, clamped to `acc`'s length.
+    #[inline]
+    fn outcome_counts_at(&self, at: usize, acc: &[u64]) -> (usize, usize) {
+        (
+            kernels::and_popcount(acc, words_from(self.fail_bits.words(), at)),
+            kernels::and_popcount(acc, words_from(self.succeed_bits.words(), at)),
+        )
+    }
+
+    /// Splits `0..full` into one contiguous epoch range per worker.
+    fn epoch_ranges(full: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+        let per = full.div_ceil(workers);
+        (0..workers)
+            .map(|ci| (ci * per).min(full)..((ci + 1) * per).min(full))
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
     /// The set of runs satisfying `cause`, as a bitset over run indices.
     ///
     /// Live epochs are answered by word-parallel AND-of-ORs over their bit
     /// blocks; retired epochs by scanning their dense-key arena rows against
     /// per-predicate allowed-value masks (after a summary-count check that
-    /// skips epochs which cannot match). Both paths are exact.
+    /// skips epochs which cannot match). Both paths are exact. Above the
+    /// parallel threshold, full epochs are fanned out across the query
+    /// workers — each worker writes its epochs' disjoint word ranges of the
+    /// result, so the merged set is bit-identical to the sequential scan.
     fn satisfying_set(&self, cause: &Conjunction) -> RunSet {
         if cause.is_empty() {
             return RunSet::full(self.runs.len());
         }
+        let preds = self.plan_predicates(cause);
+        let w = self.epoch_words;
+        let full = self.blocks.len();
+        let parallel = self.use_parallel(full);
+        self.note_query(full, parallel);
         let mut set = RunSet::new();
-        {
-            // Resolve each predicate once: its flat-index base, its allowed
-            // value indices, and a bitmap of those indices for arena scans.
-            struct PredPlan {
-                base: usize,
-                param: usize,
-                allowed: Vec<usize>,
-                mask: Vec<u64>,
+        set.grow_words(self.runs.len().div_ceil(64));
+        if parallel {
+            let per = full.div_ceil(self.query_workers);
+            let words = set.words_mut();
+            std::thread::scope(|scope| {
+                for (ci, chunk) in words[..full * w].chunks_mut(per * w).enumerate() {
+                    let preds = &preds;
+                    scope.spawn(move || {
+                        let mut scratch = TermScratch::default();
+                        for (j, acc) in chunk.chunks_mut(w).enumerate() {
+                            self.epoch_acc_into(ci * per + j, preds, &mut scratch, acc);
+                        }
+                    });
+                }
+            });
+        } else {
+            let mut scratch = TermScratch::default();
+            let words = set.words_mut();
+            for (e, acc) in words[..full * w].chunks_mut(w).enumerate() {
+                self.epoch_acc_into(e, &preds, &mut scratch, acc);
             }
-            // The per-domain value bitmaps only serve the arena-scan path,
-            // so they are built only when some epoch is actually retired.
-            let any_retired = self.summaries.iter().any(Option::is_some);
-            let preds: Vec<PredPlan> = cause
-                .predicates()
-                .iter()
-                .map(|pred| {
-                    let domain = self.space.domain(pred.param);
-                    let allowed = pred.allowed_indices(domain);
-                    let mut mask = if any_retired {
-                        vec![0u64; domain.len().div_ceil(64)]
-                    } else {
-                        Vec::new()
-                    };
-                    if any_retired {
-                        for &vi in &allowed {
-                            mask[vi / 64] |= 1u64 << (vi % 64);
-                        }
-                    }
-                    PredPlan {
-                        base: self.offsets[pred.param.index()] as usize,
-                        param: pred.param.index(),
-                        allowed,
-                        mask,
-                    }
-                })
-                .collect();
-            let w = self.epoch_words;
-            let mut bufs = vec![0u64; 2 * w];
-            let (acc, tmp) = bufs.split_at_mut(w);
-            'epochs: for (e, block) in self.blocks.iter().enumerate() {
-                match block {
-                    Some(words) => {
-                        for (pi, p) in preds.iter().enumerate() {
-                            let dst: &mut [u64] =
-                                if pi == 0 { &mut *acc } else { &mut *tmp };
-                            dst.fill(0);
-                            for &vi in &p.allowed {
-                                let base = (p.base + vi) * w;
-                                let src = &words[base..base + w];
-                                for (d, s) in dst.iter_mut().zip(src) {
-                                    *d |= s;
-                                }
-                            }
-                            if pi > 0 {
-                                for (a, t) in acc.iter_mut().zip(tmp.iter()) {
-                                    *a &= t;
-                                }
-                            }
-                            if acc.iter().all(|&x| x == 0) {
-                                continue 'epochs;
-                            }
-                        }
-                        set.or_words_at(e * w, acc);
-                    }
-                    None => {
-                        let summary =
-                            self.summaries[e].as_ref().expect("retired epoch has a summary");
-                        // A predicate none of whose allowed values occur in
-                        // the epoch rules the whole epoch out.
-                        if preds.iter().any(|p| {
-                            p.allowed
-                                .iter()
-                                .all(|&vi| summary.value_counts[p.base + vi] == 0)
-                        }) {
-                            continue;
-                        }
-                        let start = e * self.epoch_runs;
-                        let end = start + self.epoch_runs;
-                        'rows: for r in start..end {
-                            if self.overflow_bits.contains(r) {
-                                continue;
-                            }
-                            let key = self.by_key.row(r);
-                            for p in &preds {
-                                let vi = key[p.param] as usize;
-                                if p.mask[vi / 64] >> (vi % 64) & 1 == 0 {
-                                    continue 'rows;
-                                }
-                            }
-                            set.insert(r);
-                        }
-                    }
-                }
-            }
-            // The in-progress epoch: the same AND-of-ORs over the growable
-            // per-value bitsets, swept only to the filled word count.
-            let cur_base = self.blocks.len() * self.epoch_runs;
-            let used = (self.runs.len() - cur_base).div_ceil(64);
-            if used > 0 {
-                let mut alive = true;
-                for (pi, p) in preds.iter().enumerate() {
-                    let dst: &mut [u64] = if pi == 0 { &mut *acc } else { &mut *tmp };
-                    dst[..used].fill(0);
-                    for &vi in &p.allowed {
-                        let src = self.current[p.base + vi].words();
-                        let n = src.len().min(used);
-                        for (d, s) in dst[..n].iter_mut().zip(&src[..n]) {
-                            *d |= s;
-                        }
-                    }
-                    if pi > 0 {
-                        for (a, t) in acc[..used].iter_mut().zip(tmp[..used].iter()) {
-                            *a &= t;
-                        }
-                    }
-                    if acc[..used].iter().all(|&x| x == 0) {
-                        alive = false;
-                        break;
-                    }
-                }
-                if alive {
-                    set.or_words_at(cur_base / 64, &acc[..used]);
-                }
+        }
+        // The in-progress epoch, swept only to the filled word count.
+        let cur_base = full * self.epoch_runs;
+        let used = (self.runs.len() - cur_base).div_ceil(64);
+        if used > 0 {
+            let mut acc = vec![0u64; used];
+            if self.current_acc_into(&preds, &mut acc) {
+                let at = cur_base / 64;
+                set.words_mut()[at..at + used].copy_from_slice(&acc);
             }
         }
         // Unencodable runs never appear in the value index; interpret them.
@@ -505,6 +873,16 @@ impl ProvenanceStore {
         &self.space
     }
 
+    /// Pre-sizes the run log and the dense-key index for `additional`
+    /// further [`record`](Self::record) calls. Purely an optimization for
+    /// bulk loads (snapshot restore, WAL replay): the key table jumps
+    /// straight to its final size instead of re-placing every slot once per
+    /// doubling, and the run log allocates once.
+    pub fn reserve(&mut self, additional: usize) {
+        self.runs.reserve(additional);
+        self.by_key.reserve(additional);
+    }
+
     /// Records an execution. Returns `true` if the instance was new. A
     /// duplicate with the same outcome is a silent no-op; a duplicate with a
     /// *different* outcome panics — it violates Def. 2's determinism and would
@@ -514,50 +892,87 @@ impl ProvenanceStore {
     /// not a clone of the instance; the bitset index is updated in the same
     /// pass.
     pub fn record(&mut self, mut instance: Instance, eval: EvalResult) -> bool {
-        let key = self.key_of(&instance);
-        let fp = match (&key, instance.dense_fingerprint()) {
-            (Some(_), Some(fp)) => fp,
-            (Some(k), None) => hash_dense_key(k),
-            (None, _) => 0,
-        };
-        let existing = match &key {
-            Some(k) => self.by_key.get(fp, k.as_ref()),
-            None => self.overflow_find(&instance),
-        };
-        if let Some(i) = existing {
-            assert_eq!(
-                self.runs[i].eval.outcome,
-                eval.outcome,
-                "non-deterministic evaluation for instance {}",
-                instance.display(&self.space)
+        // Resolve the dense key without cloning: a carried key is borrowed
+        // straight through probe and index insert (the hot path allocates
+        // nothing); only a key-less encodable instance pays one encode.
+        let encoded: Option<Box<[u32]>> = if instance.dense_key().is_some() {
+            debug_assert_eq!(
+                instance.dense_key(),
+                self.space.encode(&instance).as_deref(),
+                "instance carries a dense key inconsistent with this store's space"
             );
-            return false;
+            None
+        } else {
+            self.space.encode(&instance)
+        };
+        if instance.dense_key().is_none() && encoded.is_none() {
+            // Unencodable: the interpretive overflow path.
+            if let Some(i) = self.overflow_find(&instance) {
+                assert_eq!(
+                    self.runs[i].eval.outcome,
+                    eval.outcome,
+                    "non-deterministic evaluation for instance {}",
+                    instance.display(&self.space)
+                );
+                return false;
+            }
+            let idx = self.runs.len();
+            self.by_key.push_overflow_row(idx as u32);
+            self.overflow.push(idx as u32);
+            self.overflow_bits.insert(idx);
+            return self.finish_record(instance, eval);
         }
+        {
+            let (fp, key): (u64, &[u32]) = match &encoded {
+                Some(k) => (hash_dense_key(k), k),
+                None => (
+                    instance
+                        .dense_fingerprint()
+                        .expect("fingerprint accompanies the dense key"),
+                    instance.dense_key().expect("dense key checked above"),
+                ),
+            };
+            let slot = match self.by_key.probe(fp, key) {
+                Ok(i) => {
+                    assert_eq!(
+                        self.runs[i].eval.outcome,
+                        eval.outcome,
+                        "non-deterministic evaluation for instance {}",
+                        instance.display(&self.space)
+                    );
+                    return false;
+                }
+                Err(slot) => slot,
+            };
+            let idx = self.runs.len();
+            let in_epoch = self.tail_runs;
+            debug_assert_eq!(in_epoch, idx % self.epoch_runs);
+            let (word, bit) = (in_epoch / 64, 1u64 << (in_epoch % 64));
+            let w = self.epoch_words;
+            for (&off, &vi) in self.offsets.iter().zip(key) {
+                self.current[(off as usize + vi as usize) * w + word] |= bit;
+            }
+            self.by_key.insert_at(slot, fp, idx as u32, key);
+        }
+        if let Some(k) = encoded {
+            instance.set_dense(k);
+        }
+        self.finish_record(instance, eval)
+    }
+
+    /// The shared tail of [`record`](Self::record): outcome bits, the run
+    /// log append, and the epoch-boundary freeze. Always returns `true`.
+    fn finish_record(&mut self, instance: Instance, eval: EvalResult) -> bool {
         let idx = self.runs.len();
-        match key {
-            Some(k) => {
-                let in_epoch = idx % self.epoch_runs;
-                for (p, &vi) in k.iter().enumerate() {
-                    self.current[self.offsets[p] as usize + vi as usize].insert(in_epoch);
-                }
-                if instance.dense_key().is_none() {
-                    instance.set_dense(k.clone());
-                }
-                self.by_key.insert(fp, idx as u32, &k);
-            }
-            None => {
-                self.by_key.push_overflow_row(idx as u32);
-                self.overflow.push(idx as u32);
-                self.overflow_bits.insert(idx);
-            }
-        }
         match eval.outcome {
             Outcome::Fail => self.fail_bits.insert(idx),
             Outcome::Succeed => self.succeed_bits.insert(idx),
         }
         self.runs.push(Run { instance, eval });
-        if self.runs.len() % self.epoch_runs == 0 {
+        self.tail_runs += 1;
+        if self.tail_runs == self.epoch_runs {
             self.freeze_current_epoch();
+            self.tail_runs = 0;
         }
         true
     }
@@ -611,7 +1026,7 @@ impl ProvenanceStore {
     pub fn index_bytes(&self) -> usize {
         let block_words = self.total_values as usize * self.epoch_words;
         let frozen = self.blocks.iter().filter(|b| b.is_some()).count() * block_words * 8;
-        let current: usize = self.current.iter().map(|b| b.words().len() * 8).sum();
+        let current = self.current.len() * 8;
         let retired = self.retired_epochs()
             * (self.total_values as usize * 4 + std::mem::size_of::<EpochSummary>());
         let outcome_words = 3 * self.runs.len().div_ceil(64) * 8;
@@ -643,15 +1058,25 @@ impl ProvenanceStore {
     }
 
     /// Folds epoch `e`'s bit block into summary counts. Returns `false` if
-    /// the epoch was already retired.
+    /// the epoch was already retired. The block's rows are cumulative
+    /// prefix-ORs, so a value's own run count is the *difference* of
+    /// adjacent row popcounts (the prefixes are monotone: row `v` contains
+    /// row `v-1`).
     fn retire_epoch(&mut self, e: usize) -> bool {
         let Some(block) = self.blocks[e].take() else {
             return false;
         };
         let w = self.epoch_words;
-        let value_counts: Box<[u32]> = (0..self.total_values as usize)
-            .map(|v| block[v * w..(v + 1) * w].iter().map(|x| x.count_ones()).sum())
-            .collect();
+        let mut value_counts = vec![0u32; self.total_values as usize].into_boxed_slice();
+        for (p, &base) in self.space.ids().zip(&self.offsets) {
+            let base = base as usize;
+            let mut prev = 0u32;
+            for v in 0..self.space.domain(p).len() {
+                let pc = kernels::popcount(&block[(base + v) * w..(base + v + 1) * w]) as u32;
+                value_counts[base + v] = pc - prev;
+                prev = pc;
+            }
+        }
         let wbase = e * w;
         let failing = (0..w).map(|k| self.fail_bits.word(wbase + k).count_ones()).sum();
         let succeeding = (0..w)
@@ -773,9 +1198,75 @@ impl ProvenanceStore {
     /// The Shortcut sanity check (Algorithm 1, final loop): is there a
     /// *succeeding* run whose parameter-values are a superset of the
     /// hypothetical root cause `D`? If so, `D` is not definitive.
-    /// One bitset intersection over the log.
+    ///
+    /// Evaluated epoch by epoch with an early exit on the first succeeding
+    /// intersection, never materializing the satisfying set; above the
+    /// parallel threshold the epochs are fanned out across the query
+    /// workers (a shared flag stops the remaining workers early — the
+    /// boolean merge is order-independent, so the result is identical to
+    /// the sequential scan).
     pub fn succeeding_superset_exists(&self, cause: &Conjunction) -> bool {
-        self.satisfying_set(cause).intersects(&self.succeed_bits)
+        if cause.is_empty() {
+            return !self.succeed_bits.is_empty();
+        }
+        // Overflow runs first: a handful of interpretive checks, and a hit
+        // skips the epoch scan entirely.
+        for &i in &self.overflow {
+            let run = &self.runs[i as usize];
+            if run.outcome().is_succeed() && cause.satisfied_by(&run.instance) {
+                return true;
+            }
+        }
+        let preds = self.plan_predicates(cause);
+        let w = self.epoch_words;
+        let full = self.blocks.len();
+        let parallel = self.use_parallel(full);
+        self.note_query(full, parallel);
+        // The in-progress epoch next — most recent, cheapest to scan.
+        let cur_base = full * self.epoch_runs;
+        let used = (self.runs.len() - cur_base).div_ceil(64);
+        if used > 0 {
+            let mut acc = vec![0u64; used];
+            if self.current_acc_into(&preds, &mut acc)
+                && kernels::and_any(&acc, words_from(self.succeed_bits.words(), cur_base / 64))
+            {
+                return true;
+            }
+        }
+        if parallel {
+            let found = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for range in Self::epoch_ranges(full, self.query_workers) {
+                    let (preds, found) = (&preds, &found);
+                    scope.spawn(move || {
+                        let mut scratch = TermScratch::default();
+                        let mut acc = vec![0u64; w];
+                        for e in range {
+                            if found.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if self.epoch_acc_into(e, preds, &mut scratch, &mut acc)
+                                && kernels::and_any(
+                                    &acc,
+                                    words_from(self.succeed_bits.words(), e * w),
+                                )
+                            {
+                                found.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    });
+                }
+            });
+            found.into_inner()
+        } else {
+            let mut scratch = TermScratch::default();
+            let mut acc = vec![0u64; w];
+            (0..full).any(|e| {
+                self.epoch_acc_into(e, &preds, &mut scratch, &mut acc)
+                    && kernels::and_any(&acc, words_from(self.succeed_bits.words(), e * w))
+            })
+        }
     }
 
     /// Instances in the history satisfying a conjunction, with outcomes —
@@ -791,14 +1282,167 @@ impl ProvenanceStore {
             .into_iter()
     }
 
-    /// Counts `(failing, succeeding)` runs satisfying a conjunction: an
-    /// AND + popcount over the bitset index instead of a log scan.
+    /// Counts `(failing, succeeding)` runs satisfying a conjunction — fused
+    /// AND-of-ORs + popcount per epoch against the outcome bitsets, never
+    /// materializing the satisfying set. Above the parallel threshold the
+    /// full epochs are fanned out across the query workers; the per-epoch
+    /// partial counts are summed, so the result is identical to the
+    /// sequential scan.
     pub fn support(&self, cause: &Conjunction) -> (usize, usize) {
-        let sat = self.satisfying_set(cause);
-        (
-            sat.intersection_count(&self.fail_bits),
-            sat.intersection_count(&self.succeed_bits),
-        )
+        if cause.is_empty() {
+            return (self.num_failing(), self.num_succeeding());
+        }
+        let preds = self.plan_predicates(cause);
+        let w = self.epoch_words;
+        let full = self.blocks.len();
+        let parallel = self.use_parallel(full);
+        self.note_query(full, parallel);
+        let (mut f, mut s) = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = Self::epoch_ranges(full, self.query_workers)
+                    .into_iter()
+                    .map(|range| {
+                        let preds = &preds;
+                        scope.spawn(move || {
+                            let mut scratch = TermScratch::default();
+                            let mut acc = vec![0u64; w];
+                            let (mut f, mut s) = (0usize, 0usize);
+                            for e in range {
+                                if self.epoch_acc_into(e, preds, &mut scratch, &mut acc) {
+                                    let (ef, es) = self.outcome_counts_at(e * w, &acc);
+                                    f += ef;
+                                    s += es;
+                                }
+                            }
+                            (f, s)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("epoch query worker panicked"))
+                    .fold((0, 0), |(f, s), (ef, es)| (f + ef, s + es))
+            })
+        } else {
+            let mut scratch = TermScratch::default();
+            let mut acc = vec![0u64; w];
+            let (mut f, mut s) = (0usize, 0usize);
+            for e in 0..full {
+                if self.epoch_acc_into(e, &preds, &mut scratch, &mut acc) {
+                    let (ef, es) = self.outcome_counts_at(e * w, &acc);
+                    f += ef;
+                    s += es;
+                }
+            }
+            (f, s)
+        };
+        let cur_base = full * self.epoch_runs;
+        let used = (self.runs.len() - cur_base).div_ceil(64);
+        if used > 0 {
+            let mut acc = vec![0u64; used];
+            if self.current_acc_into(&preds, &mut acc) {
+                let (ef, es) = self.outcome_counts_at(cur_base / 64, &acc);
+                f += ef;
+                s += es;
+            }
+        }
+        for &i in &self.overflow {
+            let run = &self.runs[i as usize];
+            if cause.satisfied_by(&run.instance) {
+                match run.outcome() {
+                    Outcome::Fail => f += 1,
+                    Outcome::Succeed => s += 1,
+                }
+            }
+        }
+        (f, s)
+    }
+
+    /// [`support`](Self::support) for a batch: `(failing, succeeding)` per
+    /// conjunction, evaluating all of them against each epoch block while
+    /// it is cache-hot — one pass over the log instead of `k`. Above the
+    /// parallel threshold the epochs are fanned out across the query
+    /// workers and the per-worker partial counts summed per conjunction;
+    /// results are identical to calling [`support`](Self::support) `k`
+    /// times.
+    pub fn support_many(&self, causes: &[Conjunction]) -> Vec<(usize, usize)> {
+        let plans: Vec<Option<Vec<PredPlan>>> = causes
+            .iter()
+            .map(|c| (!c.is_empty()).then(|| self.plan_predicates(c)))
+            .collect();
+        let w = self.epoch_words;
+        let full = self.blocks.len();
+        let parallel = self.use_parallel(full);
+        // One note per conjunction: the batch does evaluate each of them
+        // over every epoch, just in a block-major order.
+        for _ in 0..causes.len() {
+            self.note_query(full, parallel);
+        }
+        let scan_range = |range: std::ops::Range<usize>| {
+            let mut scratch = TermScratch::default();
+            let mut acc = vec![0u64; w];
+            let mut part = vec![(0usize, 0usize); causes.len()];
+            for e in range {
+                for (ci, plan) in plans.iter().enumerate() {
+                    if let Some(preds) = plan {
+                        if self.epoch_acc_into(e, preds, &mut scratch, &mut acc) {
+                            let (ef, es) = self.outcome_counts_at(e * w, &acc);
+                            part[ci].0 += ef;
+                            part[ci].1 += es;
+                        }
+                    }
+                }
+            }
+            part
+        };
+        let mut out = if parallel {
+            let scan_range = &scan_range;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = Self::epoch_ranges(full, self.query_workers)
+                    .into_iter()
+                    .map(|range| scope.spawn(move || scan_range(range)))
+                    .collect();
+                let mut out = vec![(0usize, 0usize); causes.len()];
+                for h in handles {
+                    for (o, p) in out
+                        .iter_mut()
+                        .zip(h.join().expect("epoch query worker panicked"))
+                    {
+                        o.0 += p.0;
+                        o.1 += p.1;
+                    }
+                }
+                out
+            })
+        } else {
+            scan_range(0..full)
+        };
+        // The in-progress epoch, the overflow runs, and the empty causes.
+        let cur_base = full * self.epoch_runs;
+        let used = (self.runs.len() - cur_base).div_ceil(64);
+        let mut acc = vec![0u64; used];
+        for (ci, plan) in plans.iter().enumerate() {
+            match plan {
+                None => out[ci] = (self.num_failing(), self.num_succeeding()),
+                Some(preds) => {
+                    if used > 0 && self.current_acc_into(preds, &mut acc) {
+                        let (ef, es) = self.outcome_counts_at(cur_base / 64, &acc);
+                        out[ci].0 += ef;
+                        out[ci].1 += es;
+                    }
+                    for &i in &self.overflow {
+                        let run = &self.runs[i as usize];
+                        if causes[ci].satisfied_by(&run.instance) {
+                            match run.outcome() {
+                                Outcome::Fail => out[ci].0 += 1,
+                                Outcome::Succeed => out[ci].1 += 1,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Parses a history from the TSV layout produced by [`Self::to_tsv`]
@@ -1263,6 +1907,81 @@ mod tests {
         // Re-compacting is a no-op; lookups still hit.
         assert_eq!(p.compact(0), 0);
         assert!(p.lookup(&s.instance_from_indices(&[3, 2])).is_some());
+    }
+
+    /// Parallel epoch fan-out returns bit-identical results to the
+    /// sequential path — mid-compaction states included — and the
+    /// observability counters tick only when parallelism actually engages.
+    #[test]
+    fn parallel_queries_match_sequential_and_count() {
+        let s = ParamSpace::builder()
+            .ordinal("a", (0..40).collect::<Vec<_>>())
+            .ordinal("b", (0..16).collect::<Vec<_>>())
+            .build();
+        let mut seq = ProvenanceStore::with_epoch_size(s.clone(), 64);
+        for (i, inst) in s.instances().take(600).enumerate() {
+            seq.record(inst, EvalResult::of(Outcome::from_check(i % 7 != 0)));
+        }
+        seq.compact(4); // a mix of retired, frozen, and in-progress epochs
+        let mut par = seq.clone();
+        par.set_query_workers(4);
+        par.set_parallel_epoch_threshold(2);
+        assert_eq!(par.query_workers(), 4);
+
+        let a = s.by_name("a").unwrap();
+        let b = s.by_name("b").unwrap();
+        let causes: Vec<Conjunction> = (0..12)
+            .map(|v| match v % 3 {
+                0 => Conjunction::new(vec![Predicate::eq(a, v as i64)]),
+                1 => Conjunction::new(vec![Predicate::new(
+                    a,
+                    crate::Comparator::Le,
+                    (3 * v) as i64,
+                )]),
+                _ => Conjunction::new(vec![
+                    Predicate::new(a, crate::Comparator::Gt, v as i64),
+                    Predicate::eq(b, (v % 16) as i64),
+                ]),
+            })
+            .chain([Conjunction::top()])
+            .collect();
+        for cause in &causes {
+            assert_eq!(seq.support(cause), par.support(cause));
+            assert_eq!(
+                seq.succeeding_superset_exists(cause),
+                par.succeeding_superset_exists(cause)
+            );
+            let seq_set: Vec<_> = seq.satisfying_runs(cause).map(|r| &r.instance).collect();
+            let par_set: Vec<_> = par.satisfying_runs(cause).map(|r| &r.instance).collect();
+            assert_eq!(seq_set, par_set);
+        }
+        // Batched support agrees with one-at-a-time on both paths.
+        let one_by_one: Vec<_> = causes.iter().map(|c| par.support(c)).collect();
+        assert_eq!(par.support_many(&causes), one_by_one);
+        assert_eq!(seq.support_many(&causes), one_by_one);
+
+        let (par_queries, par_epochs) = par.query_counters();
+        assert!(par_queries > 0, "parallel path engaged");
+        assert!(par_epochs > 0);
+        let (seq_queries, seq_epochs) = seq.query_counters();
+        assert_eq!(seq_queries, 0, "workers=1 never parallelizes");
+        assert!(seq_epochs > 0);
+    }
+
+    /// Below the epoch threshold (or with one worker) queries stay
+    /// sequential even when workers are configured — no thread overhead on
+    /// small logs, and the counters show it.
+    #[test]
+    fn parallel_threshold_gates_fan_out() {
+        let (s, mut p) = epoch_store(128); // 2 full epochs of 64
+        p.set_query_workers(8); // default threshold is 8 full epochs
+        let x = s.by_name("x").unwrap();
+        let c = Conjunction::new(vec![Predicate::eq(x, 3)]);
+        let support = p.support(&c);
+        assert_eq!(p.query_counters().0, 0, "below threshold: sequential");
+        p.set_parallel_epoch_threshold(1);
+        assert_eq!(p.support(&c), support, "fan-out changes nothing");
+        assert_eq!(p.query_counters().0, 1);
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct ExecStats {
     /// Virtual time elapsed: the makespan of all executions scheduled on
     /// `workers` machines.
     pub sim_time: SimTime,
+    /// Provenance queries that fanned epochs out across the worker pool
+    /// (large logs only; small logs stay on the sequential path).
+    pub parallel_epoch_queries: u64,
+    /// Total frozen/retired epochs visited by provenance queries, across
+    /// both the sequential and parallel paths.
+    pub epochs_scanned: u64,
 }
 
 /// Pass-through hasher for keys that are already FxHash fingerprints.
@@ -443,8 +449,14 @@ impl AtomicStats {
 
     /// Snapshot; `shard_hits`/`evictions` are the sums of the read cache's
     /// per-shard counters (keyed cache hits are counted at the shard they
-    /// touch).
-    fn snapshot(&self, shard_hits: usize, evictions: usize) -> ExecStats {
+    /// touch), and `(parallel_epoch_queries, epochs_scanned)` comes from the
+    /// provenance store's query counters.
+    fn snapshot(
+        &self,
+        shard_hits: usize,
+        evictions: usize,
+        (parallel_epoch_queries, epochs_scanned): (u64, u64),
+    ) -> ExecStats {
         ExecStats {
             new_executions: self.new_executions.load(Ordering::SeqCst),
             cache_hits: self.cache_hits.load(Ordering::SeqCst) + shard_hits,
@@ -455,6 +467,8 @@ impl AtomicStats {
             sim_time: SimTime::from_secs(f64::from_bits(
                 self.sim_time_bits.load(Ordering::SeqCst),
             )),
+            parallel_epoch_queries,
+            epochs_scanned,
         }
     }
 }
@@ -523,7 +537,7 @@ impl Executor {
         provenance: ProvenanceStore,
     ) -> Result<Self, PersistError> {
         let space = pipeline.space().clone();
-        let (provenance, persist, recovery) = match &config.persist {
+        let (mut provenance, persist, recovery) = match &config.persist {
             None => (provenance, None, None),
             Some(persist_config) => {
                 let (mut recovered, mut durable, recovery) =
@@ -537,6 +551,10 @@ impl Executor {
                 (recovered, Some(Mutex::new(durable)), Some(recovery))
             }
         };
+        // Provenance queries may fan out across the same worker pool the
+        // dispatcher simulates; below the epoch threshold they stay
+        // sequential, so a small log never pays for threads.
+        provenance.set_query_workers(config.workers);
         let cache = ReadCache::new(config.memory);
         for run in provenance.runs() {
             let key: Option<Box<[u32]>> = run
@@ -637,7 +655,9 @@ impl Executor {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> ExecStats {
-        self.stats.snapshot(self.cache.hits(), self.cache.evictions())
+        let query_counters = self.provenance.read().query_counters();
+        self.stats
+            .snapshot(self.cache.hits(), self.cache.evictions(), query_counters)
     }
 
     /// Outcomes currently held in the read cache (equals the number of

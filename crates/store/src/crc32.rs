@@ -2,17 +2,26 @@
 //! in-crate: the build environment has no registry access, and a WAL must
 //! not take integrity checking on faith from an optional dependency.
 //!
-//! Standard reflected table-driven implementation: polynomial `0xEDB88320`
-//! (the bit-reversed `0x04C11DB7`), initial value `0xFFFF_FFFF`, final XOR
-//! `0xFFFF_FFFF`. Matches zlib's `crc32()` — the test vectors below are the
-//! published ones ("123456789" → `0xCBF43926`).
+//! Slice-by-8 reflected table-driven implementation: polynomial
+//! `0xEDB88320` (the bit-reversed `0x04C11DB7`), initial value
+//! `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`. Matches zlib's `crc32()` — the
+//! test vectors below are the published ones ("123456789" → `0xCBF43926`).
+//!
+//! Replay checksums every frame of the log, so the throughput of this loop
+//! is on the recovery critical path. Slicing-by-8 folds eight input bytes
+//! per iteration through eight 256-entry tables instead of one byte through
+//! one table — same polynomial arithmetic, ~8× fewer loop-carried
+//! dependencies. The tables are built at compile time so the checksum path
+//! has no lazy-init branch.
 
-/// The 256-entry lookup table for the reflected IEEE polynomial, built at
-/// compile time so the checksum path has no lazy-init branch.
-const TABLE: [u32; 256] = build_table();
+/// Eight 256-entry lookup tables for the reflected IEEE polynomial.
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k][i]` advances
+/// the CRC of byte `i` by `k` further zero bytes, which is what lets one
+/// iteration retire eight input bytes.
+const TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,17 +34,42 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
 /// The CRC-32 of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        // The current CRC folds into the first four input bytes (reflected
+        // CRC over little-endian words); the u64 load keeps the eight table
+        // lookups independent of each other.
+        let x = u64::from_le_bytes(chunk.try_into().unwrap()) ^ crc as u64;
+        crc = TABLES[7][(x & 0xFF) as usize]
+            ^ TABLES[6][((x >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((x >> 16) & 0xFF) as usize]
+            ^ TABLES[4][((x >> 24) & 0xFF) as usize]
+            ^ TABLES[3][((x >> 32) & 0xFF) as usize]
+            ^ TABLES[2][((x >> 40) & 0xFF) as usize]
+            ^ TABLES[1][((x >> 48) & 0xFF) as usize]
+            ^ TABLES[0][(x >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     crc ^ 0xFFFF_FFFF
 }
@@ -51,6 +85,26 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    /// The sliced loop against the one-table byte-at-a-time definition, on
+    /// lengths straddling the 8-byte chunk boundary and misaligned starts.
+    #[test]
+    fn sliced_matches_bytewise_reference() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+            }
+            crc ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(131) >> 3) as u8).collect();
+        for start in 0..9 {
+            for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200] {
+                let slice = &data[start..start + len];
+                assert_eq!(crc32(slice), reference(slice), "start {start} len {len}");
+            }
+        }
     }
 
     #[test]

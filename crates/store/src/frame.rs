@@ -84,25 +84,58 @@ impl RunRecord {
         }
     }
 
+    /// Cheap validity check: would [`to_run`](Self::to_run) against `space`
+    /// succeed? Dense keys are checked for arity and per-parameter index
+    /// range; raw records always fit (they take the provenance store's
+    /// overflow path). Recovery runs this in the replay sink — where a
+    /// misfit must truncate the log like a torn frame — so the actual
+    /// materialization can be deferred and batched across workers.
+    pub fn fits(&self, space: &ParamSpace) -> bool {
+        match &self.key {
+            RecordKey::Dense(key) => {
+                key.len() == space.len()
+                    && space
+                        .ids()
+                        .zip(key.iter())
+                        .all(|(p, &idx)| (idx as usize) < space.domain(p).len())
+            }
+            RecordKey::Raw(_) => true,
+        }
+    }
+
     /// Materializes the record against `space`. Dense keys are validated
     /// (arity and per-parameter index range) — a key that does not fit is
     /// [`DecodeError::Domain`], which recovery treats as corruption. Raw
     /// records become key-less instances and take the provenance store's
     /// existing overflow path when recorded.
     pub fn to_run(&self, space: &ParamSpace) -> Result<Run, DecodeError> {
+        if !self.fits(space) {
+            return Err(DecodeError::Domain);
+        }
         let instance = match &self.key {
-            RecordKey::Dense(key) => {
-                if key.len() != space.len() {
-                    return Err(DecodeError::Domain);
-                }
-                for (p, &idx) in space.ids().zip(key.iter()) {
-                    if idx as usize >= space.domain(p).len() {
-                        return Err(DecodeError::Domain);
-                    }
-                }
-                space.instance_from_indices(key)
-            }
+            RecordKey::Dense(key) => space.instance_from_indices(key),
             RecordKey::Raw(values) => Instance::new(values.clone()),
+        };
+        Ok(Run {
+            instance,
+            eval: EvalResult {
+                outcome: self.outcome,
+                score: self.score,
+            },
+        })
+    }
+
+    /// By-value [`to_run`](Self::to_run): moves the dense key (or raw
+    /// values) into the instance instead of cloning them. The streaming
+    /// recovery path runs this once per frame, so the saved allocation and
+    /// copy are per-record hot-path work.
+    pub fn into_run(self, space: &ParamSpace) -> Result<Run, DecodeError> {
+        if !self.fits(space) {
+            return Err(DecodeError::Domain);
+        }
+        let instance = match self.key {
+            RecordKey::Dense(key) => space.instance_from_owned_indices(key.into_vec()),
+            RecordKey::Raw(values) => Instance::new(values),
         };
         Ok(Run {
             instance,
@@ -209,6 +242,41 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.extend_from_slice(s.as_bytes());
         }
     }
+}
+
+/// Below this many records, batched recovery decodes on the calling thread:
+/// spawn cost would exceed the decode work.
+pub(crate) const PARALLEL_DECODE_MIN_RECORDS: usize = 2048;
+
+/// Materializes a batch of already-[`fits`](RunRecord::fits)-validated
+/// records, fanning contiguous chunks across `workers` threads when the
+/// batch is large enough to pay for them. Order is preserved (recovery
+/// replays runs in log order), and validation-before-decode makes the
+/// per-record `to_run` infallible here.
+pub(crate) fn materialize_validated(
+    records: &[RunRecord],
+    space: &ParamSpace,
+    workers: usize,
+) -> Vec<Run> {
+    let decode = |r: &RunRecord| {
+        r.to_run(space)
+            .expect("record validated against this space before batch decode")
+    };
+    if workers <= 1 || records.len() < PARALLEL_DECODE_MIN_RECORDS {
+        return records.iter().map(decode).collect();
+    }
+    let per_worker = records.len().div_ceil(workers);
+    let mut runs = Vec::with_capacity(records.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = records
+            .chunks(per_worker)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(decode).collect::<Vec<_>>()))
+            .collect();
+        for handle in handles {
+            runs.extend(handle.join().expect("decode worker panicked"));
+        }
+    });
+    runs
 }
 
 fn decode_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {

@@ -101,16 +101,36 @@ pub struct PersistConfig {
     /// Write a snapshot every this many appended runs (`None`: only when
     /// [`DurableStore::snapshot`] is called explicitly).
     pub snapshot_every: Option<u64>,
+    /// Worker threads for recovery's record decode (snapshot rows and WAL
+    /// frames are validated sequentially, then materialized in parallel
+    /// batches). `0` (the default) sizes from the machine's available
+    /// parallelism; `1` forces fully sequential recovery. Small logs decode
+    /// sequentially regardless.
+    pub replay_workers: usize,
 }
 
 impl PersistConfig {
-    /// A config with default segment size and no automatic snapshots.
+    /// A config with default segment size, no automatic snapshots, and
+    /// auto-sized replay decode.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistConfig {
             dir: dir.into(),
             segment_bytes: DEFAULT_SEGMENT_BYTES,
             snapshot_every: None,
+            replay_workers: 0,
         }
+    }
+
+    /// Resolves [`replay_workers`](Self::replay_workers): `0` becomes the
+    /// machine's available parallelism (capped — recovery decode saturates
+    /// memory bandwidth well before it runs out of cores).
+    pub(crate) fn resolved_replay_workers(&self) -> usize {
+        if self.replay_workers != 0 {
+            return self.replay_workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1)
     }
 }
 
@@ -357,26 +377,48 @@ impl DurableStore {
     ) -> Result<(ProvenanceStore, Wal, Recovery), PersistError> {
         let digest = space_digest(space);
 
+        let replay_workers = config.resolved_replay_workers();
         let (mut store, from, snapshot_runs) =
-            match snapshot::load_latest(&config.dir, digest, space)? {
+            match snapshot::load_latest(&config.dir, digest, space, replay_workers)? {
                 Some(loaded) => (loaded.store, Some(loaded.wal_position), loaded.runs),
                 None => (ProvenanceStore::new(space.clone()), None, 0),
             };
 
-        let space_for_sink = space.clone();
+        // A dense key that no longer fits the (digest-matched) space is
+        // corruption, truncated like a torn frame (`into_run`'s domain check
+        // rejects it in the sink). With one worker the whole pipeline
+        // streams — decode, materialize, and record fused per frame with no
+        // staging; with more, records are staged so materialization can be
+        // batched across the replay workers.
         let mut replayed = 0usize;
-        let summary = wal::replay(&config.dir, digest, from, |record| {
-            match record.to_run(&space_for_sink) {
+        let summary = if replay_workers <= 1 {
+            let sink_store = &mut store;
+            wal::replay(&config.dir, digest, from, |record| match record.into_run(space) {
                 Ok(run) => {
-                    store.record(run.instance, run.eval);
+                    sink_store.record(run.instance, run.eval);
                     replayed += 1;
                     true
                 }
-                // A dense key that no longer fits the (digest-matched) space
-                // is corruption: truncate here like a torn frame.
                 Err(_) => false,
+            })?
+        } else {
+            let space_for_sink = space.clone();
+            let mut pending: Vec<frame::RunRecord> = Vec::new();
+            let summary =
+                wal::replay_with_workers(&config.dir, digest, from, replay_workers, |record| {
+                    let fits = record.fits(&space_for_sink);
+                    if fits {
+                        pending.push(record);
+                    }
+                    fits
+                })?;
+            replayed = pending.len();
+            store.reserve(pending.len());
+            for run in frame::materialize_validated(&pending, space, replay_workers) {
+                store.record(run.instance, run.eval);
             }
-        })?;
+            summary
+        };
 
         let wal = Wal::open(&config.dir, digest, config.segment_bytes)?;
         let recovery = Recovery {

@@ -143,12 +143,13 @@ pub fn load_latest(
     dir: &Path,
     digest: u64,
     space: &Arc<ParamSpace>,
+    workers: usize,
 ) -> Result<Option<LoadedSnapshot>, PersistError> {
     let snapshots = list_snapshots(dir)?;
     for &runs in snapshots.iter().rev() {
         let path = dir.join(snapshot_name(runs));
         let bytes = std::fs::read(&path).map_err(|e| PersistError::io(&path, e))?;
-        match parse_snapshot(&bytes, digest, space) {
+        match parse_snapshot(&bytes, digest, space, workers) {
             Ok(loaded) => return Ok(Some(loaded)),
             Err(PersistError::SpaceMismatch {
                 expected,
@@ -204,6 +205,7 @@ fn parse_snapshot(
     bytes: &[u8],
     digest: u64,
     space: &Arc<ParamSpace>,
+    workers: usize,
 ) -> Result<LoadedSnapshot, PersistError> {
     let corrupt = || PersistError::CorruptSnapshot;
     if !header_crc_ok(bytes) {
@@ -231,15 +233,19 @@ fn parse_snapshot(
     };
     let retired = word(5) as usize;
 
-    let mut store = ProvenanceStore::with_epoch_size(space.clone(), epoch_runs);
+    // Walk the frames sequentially (framing and validity are inherently
+    // serial), then materialize the validated records in parallel batches —
+    // any misfit anywhere makes the whole snapshot corrupt, so deferring
+    // decode does not change which snapshots load.
+    let mut records = Vec::with_capacity(runs.min(1 << 20));
     let mut offset = SNAP_HEADER_BYTES;
     for _ in 0..runs {
         match next_frame(bytes, offset) {
             NextFrame::Frame(record, next) => {
-                let run = record.to_run(space).map_err(|_| corrupt())?;
-                if !store.record(run.instance, run.eval) {
-                    return Err(corrupt()); // duplicate rows: not a valid store image
+                if !record.fits(space) {
+                    return Err(corrupt());
                 }
+                records.push(record);
                 offset = next;
             }
             _ => return Err(corrupt()),
@@ -247,6 +253,13 @@ fn parse_snapshot(
     }
     if offset != bytes.len() {
         return Err(corrupt());
+    }
+    let mut store = ProvenanceStore::with_epoch_size(space.clone(), epoch_runs);
+    store.reserve(records.len());
+    for run in crate::frame::materialize_validated(&records, space, workers) {
+        if !store.record(run.instance, run.eval) {
+            return Err(corrupt()); // duplicate rows: not a valid store image
+        }
     }
     // Restore the compaction watermark: retire the same oldest epochs the
     // snapshotting store had already folded into summaries.
@@ -301,7 +314,7 @@ mod tests {
         let dir = tmp("roundtrip");
         let store = filled_store(100);
         write_snapshot(&dir, 11, &store, POS).unwrap();
-        let loaded = load_latest(&dir, 11, &space()).unwrap().unwrap();
+        let loaded = load_latest(&dir, 11, &space(), 2).unwrap().unwrap();
         assert_eq!(loaded.runs, 100);
         assert_eq!(loaded.wal_position, POS);
         assert_eq!(loaded.store.len(), store.len());
@@ -319,7 +332,7 @@ mod tests {
         store.compact(0);
         assert_eq!(store.retired_epochs(), 2);
         write_snapshot(&dir, 1, &store, POS).unwrap();
-        let loaded = load_latest(&dir, 1, &space()).unwrap().unwrap();
+        let loaded = load_latest(&dir, 1, &space(), 2).unwrap().unwrap();
         assert_eq!(loaded.store.retired_epochs(), 2);
         assert_eq!(loaded.store.epoch_runs(), 64);
     }
@@ -336,7 +349,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&newest, &bytes).unwrap();
-        let loaded = load_latest(&dir, 1, &space()).unwrap().unwrap();
+        let loaded = load_latest(&dir, 1, &space(), 2).unwrap().unwrap();
         assert_eq!(loaded.runs, 50, "fell back to the intact snapshot");
         assert_eq!(loaded.wal_position, POS);
     }
@@ -366,7 +379,7 @@ mod tests {
             bytes[byte] ^= 0x10;
             std::fs::write(&path, &bytes).unwrap();
             assert!(
-                load_latest(&dir, 1, &space()).unwrap().is_none(),
+                load_latest(&dir, 1, &space(), 2).unwrap().is_none(),
                 "header byte {byte} flipped yet the snapshot loaded"
             );
             assert_eq!(
@@ -376,7 +389,7 @@ mod tests {
             );
         }
         std::fs::write(&path, &pristine).unwrap();
-        assert!(load_latest(&dir, 1, &space()).unwrap().is_some());
+        assert!(load_latest(&dir, 1, &space(), 2).unwrap().is_some());
     }
 
     #[test]
@@ -384,7 +397,7 @@ mod tests {
         let dir = tmp("digest");
         write_snapshot(&dir, 1, &filled_store(10), POS).unwrap();
         assert!(matches!(
-            load_latest(&dir, 2, &space()),
+            load_latest(&dir, 2, &space(), 2),
             Err(PersistError::SpaceMismatch { .. })
         ));
     }
@@ -392,6 +405,6 @@ mod tests {
     #[test]
     fn no_snapshot_is_none() {
         let dir = tmp("none");
-        assert!(load_latest(&dir, 1, &space()).unwrap().is_none());
+        assert!(load_latest(&dir, 1, &space(), 2).unwrap().is_none());
     }
 }

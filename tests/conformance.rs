@@ -265,4 +265,76 @@ proptest! {
             );
         }
     }
+
+    /// Parallel epoch fan-out is bit-identical to the sequential path. The
+    /// same log is queried through a workers=1 store and a clone with
+    /// fan-out forced on (4 workers, threshold 1 epoch), on uncompacted and
+    /// compacted states alike — epochs are disjoint word ranges of the
+    /// result, so any divergence is a real merge bug, not nondeterminism.
+    #[test]
+    fn parallel_fan_out_matches_sequential(
+        seed in any::<u64>(),
+        n_runs in 0usize..220,
+        overflow_pct in 0u32..25,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = random_space(&mut rng);
+        let mut seq = ProvenanceStore::with_epoch_size(space.clone(), 64);
+        for _ in 0..n_runs {
+            let inst = if rng.gen_range(0..100u32) < overflow_pct {
+                random_overflow_instance(&space, &mut rng)
+            } else {
+                random_instance(&space, &mut rng)
+            };
+            let outcome = outcome_of(&inst);
+            seq.record(inst, EvalResult::of(outcome));
+        }
+        for compacted in [false, true] {
+            if compacted {
+                seq.compact(rng.gen_range(0..3usize));
+            }
+            let mut par = seq.clone();
+            par.set_query_workers(4);
+            par.set_parallel_epoch_threshold(1);
+            let causes: Vec<Conjunction> = (0..12)
+                .map(|_| random_conjunction(&space, &mut rng))
+                .collect();
+            for cause in &causes {
+                let shown = cause.display(&space).to_string();
+                prop_assert_eq!(
+                    par.support(cause),
+                    seq.support(cause),
+                    "support diverged under fan-out for {} (compacted={})",
+                    shown,
+                    compacted
+                );
+                prop_assert_eq!(
+                    par.succeeding_superset_exists(cause),
+                    seq.succeeding_superset_exists(cause),
+                    "superset diverged under fan-out for {} (compacted={})",
+                    shown,
+                    compacted
+                );
+                let par_sat: Vec<&Instance> =
+                    par.satisfying_runs(cause).map(|r| &r.instance).collect();
+                let seq_sat: Vec<&Instance> =
+                    seq.satisfying_runs(cause).map(|r| &r.instance).collect();
+                prop_assert_eq!(
+                    par_sat,
+                    seq_sat,
+                    "satisfying_runs diverged under fan-out for {} (compacted={})",
+                    shown,
+                    compacted
+                );
+            }
+            // The batched entry point, on both paths, equals one-at-a-time.
+            let individual: Vec<_> = causes.iter().map(|c| seq.support(c)).collect();
+            prop_assert_eq!(&par.support_many(&causes), &individual);
+            prop_assert_eq!(&seq.support_many(&causes), &individual);
+            prop_assert!(
+                par.query_counters().0 > 0 || seq.len() < 64,
+                "fan-out forced on but never engaged"
+            );
+        }
+    }
 }
