@@ -24,7 +24,8 @@ mod shortcut;
 mod stacked;
 
 pub use group_testing::{
-    find_defective_elements, CorruptRecordOracle, GroupTestConfig, GroupTestReport, SubsetOracle,
+    find_defective_elements, find_defective_elements_bounded, CandidateSetBound,
+    CorruptRecordOracle, GroupTestConfig, GroupTestReport, SubsetBound, SubsetOracle,
     SubsetOutcome,
 };
 

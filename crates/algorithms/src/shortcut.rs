@@ -42,7 +42,7 @@ pub struct ShortcutConfig {
 }
 
 /// The result of one Shortcut run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShortcutReport {
     /// The asserted minimal definitive root cause, or `None` when the sanity
     /// check found a succeeding superset (the assertion would have been a
@@ -117,16 +117,23 @@ pub fn shortcut(
 
     // D ← CP_current ∩ CP_f.
     let cause = Conjunction::of_equalities(current.shared_pairs(cp_f));
-
-    // Sanity check: a succeeding execution containing D refutes it.
-    let refuted = cause.is_empty()
-        || exec.with_provenance_ref(|prov| prov.succeeding_superset_exists(&cause));
+    let refuted = cause_refuted(exec, &cause);
 
     Ok(ShortcutReport {
         cause: if refuted { None } else { Some(cause) },
         new_executions: exec.stats().new_executions - start_execs,
         complete,
     })
+}
+
+/// Shared dominance sanity check for both Shortcut variants: an empty cause
+/// carries no information, and any succeeding execution containing the cause
+/// refutes it. The superset query is bounds-gated in the store, so an
+/// admissible epoch-summary bound answers most checks without a word-level
+/// scan.
+fn cause_refuted(exec: &Executor, cause: &Conjunction) -> bool {
+    cause.is_empty()
+        || exec.with_provenance_ref(|prov| prov.succeeding_superset_exists(cause))
 }
 
 /// Speculative parallel Shortcut (paper §4.3).
@@ -218,8 +225,7 @@ pub fn shortcut_speculative(
     }
 
     let cause = Conjunction::of_equalities(current.shared_pairs(cp_f));
-    let refuted = cause.is_empty()
-        || exec.with_provenance_ref(|prov| prov.succeeding_superset_exists(&cause));
+    let refuted = cause_refuted(exec, &cause);
 
     Ok(ShortcutReport {
         cause: if refuted { None } else { Some(cause) },

@@ -51,7 +51,7 @@ impl Default for StackedConfig {
 }
 
 /// The result of a Stacked Shortcut run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackedReport {
     /// The union of the causes asserted by the stacked Shortcut runs, or
     /// `None` if every run was refuted.
@@ -134,10 +134,12 @@ pub fn stacked_shortcut_from(
     // instance that refutes an earlier component. Re-validate every component
     // against the final history before taking the union; components with no
     // succeeding superset individually guarantee the union has none either
-    // (an instance satisfying the union satisfies every component).
-    components.retain(|c| {
-        exec.with_provenance_ref(|prov| !prov.succeeding_superset_exists(c))
-    });
+    // (an instance satisfying the union satisfies every component). One
+    // epoch-major batched call replaces N independent store round-trips.
+    let refuted =
+        exec.with_provenance_ref(|prov| prov.succeeding_superset_exists_many(&components));
+    let mut keep = refuted.iter().map(|&r| !r);
+    components.retain(|_| keep.next().unwrap_or(false));
     let cause = if components.is_empty() {
         None
     } else {

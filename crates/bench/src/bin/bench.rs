@@ -24,12 +24,17 @@
 //! * `perf/satisfied_by_1k` — per-conjunction log filtering, 1k candidates
 //! * `perf/satisfied_by_many_8x1k` — the same candidates through the batched
 //!   `support_many` entry point, 8 per call (per-conjunction figure)
+//! * `perf/bounds_query_1k` — the admissible `support_bounds` estimate for
+//!   the same candidates (per-conjunction figure) — the bounds-before-exact
+//!   gate every pruned query pays
 //! * `perf/kernel_and_popcount_64k` — fused AND+popcount over 64k-bit words
 //! * `perf/wal_append` — durable provenance: one record appended to the WAL
 //! * `perf/snapshot_write` — durable provenance: 10k-run snapshot image
 //!   serialization (fsync/rename excluded as environment noise)
 //! * `perf/replay_10k` — durable provenance: full 10k-frame crash recovery
 //! * `perf/ddt_find_one` — DDT end-to-end on a synthetic pipeline
+//! * `perf/ddt_find_one_pruned` — the same scenario with bound-guided
+//!   pruning explicitly enabled
 
 use bugdoc_bench::perf;
 use criterion::{BenchResult, Criterion};
@@ -124,9 +129,12 @@ fn main() {
 
     let mut results = c.take_results();
     perf::normalize_contention_result(&mut results);
-    // Per-conjunction figures: both satisfied_by scenarios time all 1k at once.
+    // Per-conjunction figures: these scenarios time all 1k at once.
     for r in &mut results {
-        if r.id.ends_with("satisfied_by_1k") || r.id.ends_with("satisfied_by_many_8x1k") {
+        if r.id.ends_with("satisfied_by_1k")
+            || r.id.ends_with("satisfied_by_many_8x1k")
+            || r.id.ends_with("bounds_query_1k")
+        {
             r.median_ns /= 1_000.0;
             for s in &mut r.samples_ns {
                 *s /= 1_000.0;

@@ -89,6 +89,10 @@ pub fn random_conjunctions(space: &ParamSpace, n: usize, seed: u64) -> Vec<Conju
 ///   over the 10k-run log (reported per conjunction);
 /// * `perf/satisfied_by_many_8x1k` — the same conjunctions through the
 ///   batched `support_many` entry point, 8 per call (per conjunction);
+/// * `perf/bounds_query_1k` — the admissible `support_bounds` estimate for
+///   the same 1 000 conjunctions (per conjunction); this is the cheap
+///   bounds-before-exact gate, so its figure should sit well below
+///   `satisfied_by_1k`;
 /// * `perf/kernel_and_popcount_64k` — the raw fused AND+popcount kernel over
 ///   two 1 024-word operands.
 pub fn bench_hot_paths(c: &mut Criterion) {
@@ -259,6 +263,23 @@ pub fn bench_hot_paths(c: &mut Criterion) {
         })
     });
 
+    // The admissible bounds estimate for the same 1k conjunctions — the
+    // integer-arithmetic gate every exact query now sits behind (reported
+    // per conjunction, like satisfied_by_1k).
+    let prov_bounds = provenance_10k(&space);
+    let bound_conjunctions = random_conjunctions(&space, 1_000, 17);
+    group.bench_function("bounds_query_1k", move |b| {
+        b.iter(|| {
+            let mut acc = (0usize, 0usize);
+            for c in &bound_conjunctions {
+                let bounds = prov_bounds.support_bounds(c);
+                acc.0 += bounds.fail_hi;
+                acc.1 += bounds.succeed_hi;
+            }
+            acc
+        })
+    });
+
     // Raw kernel probe: fused AND+popcount over two 1 024-word (64k-bit)
     // operands — the widest single primitive the epoch scans and outcome
     // counts lean on, measured without any index structure around it.
@@ -417,8 +438,14 @@ pub fn bench_persistence(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
-/// Registers the end-to-end DDT benchmark on `c` (`perf/ddt_find_one`), the
-/// algorithm-level integral over all the hot paths above.
+/// Registers the end-to-end DDT benchmarks on `c`:
+///
+/// * `perf/ddt_find_one` — the algorithm-level integral over all the hot
+///   paths above, under the default executor config (bounds pruning on by
+///   default since PR 7);
+/// * `perf/ddt_find_one_pruned` — the same scenario with bounds pruning
+///   *explicitly* enabled, so the pruned path stays pinned and comparable
+///   even if the default ever flips.
 pub fn bench_ddt_end_to_end(c: &mut Criterion) {
     let pipe = Arc::new(SyntheticPipeline::generate(
         &SynthConfig {
@@ -434,8 +461,9 @@ pub fn bench_ddt_end_to_end(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(200));
-    group.bench_function("ddt_find_one", move |b| {
-        b.iter(|| {
+    let run_ddt = {
+        let pipe = pipe.clone();
+        move |bounds: bool| {
             let seeds = pipe.seed_history(2, 6, 7);
             let mut prov = ProvenanceStore::new(Pipeline::space(pipe.as_ref()).clone());
             for (inst, eval) in &seeds {
@@ -446,13 +474,19 @@ pub fn bench_ddt_end_to_end(c: &mut Criterion) {
                 ExecutorConfig {
                     workers: 4,
                     budget: None,
+                    bounds,
                     ..Default::default()
                 },
                 prov,
             );
             debugging_decision_trees(&exec, &DdtConfig::default())
-        })
+        }
+    };
+    group.bench_function("ddt_find_one", {
+        let run_ddt = run_ddt.clone();
+        move |b| b.iter(|| run_ddt(ExecutorConfig::default().bounds))
     });
+    group.bench_function("ddt_find_one_pruned", move |b| b.iter(|| run_ddt(true)));
     group.finish();
 }
 

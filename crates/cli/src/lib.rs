@@ -77,6 +77,7 @@ The spec file declares parameters, the command template, and the evaluation:
   cache_entries 4096       # or: cache_bytes <n> — bound the result cache
   persist_dir .bugdoc      # durable provenance: killed runs warm-start here
   snapshot_every 512       # recovery snapshot cadence (with persist_dir)
+  bounds off               # disable bound-guided pruning (default: on)
 ";
 
 /// Parses argv (without the program name).
@@ -196,6 +197,7 @@ pub fn run(request: Request) -> Result<String, String> {
                     budget: spec.budget,
                     memory: spec.memory,
                     persist: spec.persist.clone(),
+                    bounds: spec.bounds,
                 },
                 prov,
             )
@@ -245,6 +247,22 @@ pub fn run(request: Request) -> Result<String, String> {
                     out,
                     "result cache: {} evictions, {} log re-derivations",
                     stats.evictions, stats.log_rederivations
+                );
+            }
+            // Bound-guided pruning is exact-preserving, so the only visible
+            // trace of it working is this line: how much search the
+            // admissible bounds decided without an exact scan.
+            if stats.bounds_pruned_subtrees > 0
+                || stats.bounds_short_circuits > 0
+                || stats.bounds_fallthroughs > 0
+            {
+                let _ = writeln!(
+                    out,
+                    "bounds pruning: {} subtrees pruned, {} queries short-circuited, \
+                     {} fell through to exact scans",
+                    stats.bounds_pruned_subtrees,
+                    stats.bounds_short_circuits,
+                    stats.bounds_fallthroughs
                 );
             }
             if let Some(recovery) = exec.recovery() {

@@ -31,6 +31,10 @@
 //! * `snapshot_every <n>` — with `persist_dir`, write a recovery snapshot
 //!   every `n` new executions (default 512) so reopening replays only the
 //!   WAL tail.
+//! * `bounds on` | `bounds off` — bound-guided pruning of provenance
+//!   queries (default on). Pruning is exact-preserving (diagnosis outputs
+//!   are bit-identical either way); `off` is the escape hatch for
+//!   differential runs.
 
 use bugdoc_core::{ParamSpace, Value};
 use bugdoc_engine::{CommandEval, MemoryBudget, PersistConfig};
@@ -54,6 +58,9 @@ pub struct Spec {
     pub memory: MemoryBudget,
     /// Durable provenance (`persist_dir` / `snapshot_every`), if requested.
     pub persist: Option<PersistConfig>,
+    /// Bound-guided pruning of provenance queries (`bounds on|off`,
+    /// default on).
+    pub bounds: bool,
 }
 
 /// A spec parse error with its 1-based line number.
@@ -112,6 +119,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
     let mut memory = MemoryBudget::Unbounded;
     let mut persist_dir: Option<String> = None;
     let mut snapshot_every: Option<u64> = None;
+    let mut bounds = true;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -228,6 +236,13 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
                         .ok_or_else(|| err(line_no, "snapshot_every needs a positive integer"))?,
                 );
             }
+            "bounds" => {
+                bounds = match rest.as_slice() {
+                    ["on"] => true,
+                    ["off"] => false,
+                    _ => return Err(err(line_no, "bounds must be: on | off")),
+                };
+            }
             other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
         }
     }
@@ -255,6 +270,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         budget,
         memory,
         persist,
+        bounds,
     })
 }
 
@@ -336,6 +352,18 @@ budget 50
         for bad in ["snapshot_every 0\n", "snapshot_every x\n"] {
             let e = parse_spec(&format!("{base}persist_dir /tmp/bd\n{bad}")).unwrap_err();
             assert!(e.message.contains("positive integer"), "{bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn bounds_keyword() {
+        let base = "param a boolean\ncommand prog\neval exit_code\n";
+        assert!(parse_spec(base).unwrap().bounds, "bounds default on");
+        assert!(!parse_spec(&format!("{base}bounds off\n")).unwrap().bounds);
+        assert!(parse_spec(&format!("{base}bounds on\n")).unwrap().bounds);
+        for bad in ["bounds\n", "bounds maybe\n", "bounds on off\n"] {
+            let e = parse_spec(&format!("{base}{bad}")).unwrap_err();
+            assert!(e.message.contains("on | off"), "{bad:?}: {e}");
         }
     }
 

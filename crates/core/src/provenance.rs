@@ -249,6 +249,11 @@ struct QueryStats {
     parallel_epoch_queries: AtomicU64,
     /// Epochs (full + in-progress) visited by indexed queries.
     epochs_scanned: AtomicU64,
+    /// Queries fully decided by the bounds layer (no word-level scan ran).
+    bounds_short_circuits: AtomicU64,
+    /// Queries whose bounds were inconclusive and fell through to the exact
+    /// kernel path.
+    bounds_fallthroughs: AtomicU64,
 }
 
 impl Clone for QueryStats {
@@ -258,7 +263,86 @@ impl Clone for QueryStats {
                 self.parallel_epoch_queries.load(Ordering::Relaxed),
             ),
             epochs_scanned: AtomicU64::new(self.epochs_scanned.load(Ordering::Relaxed)),
+            bounds_short_circuits: AtomicU64::new(
+                self.bounds_short_circuits.load(Ordering::Relaxed),
+            ),
+            bounds_fallthroughs: AtomicU64::new(self.bounds_fallthroughs.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// Admissible bounds on a conjunction's support: the exact
+/// `(failing, succeeding)` counts [`support`](ProvenanceStore::support)
+/// would return are guaranteed to satisfy `fail_lo ≤ failing ≤ fail_hi` and
+/// `succeed_lo ≤ succeeding ≤ succeed_hi`.
+///
+/// Produced by [`support_bounds`](ProvenanceStore::support_bounds) from
+/// per-epoch integer count tables alone — never a word-level scan — so a
+/// bound query is O(epochs × predicates) arithmetic. The bounds layer uses
+/// them as *exact-preserving* early-outs: a query is answered from the bound
+/// only when the bound fully decides it (e.g. `succeed_hi == 0` proves no
+/// succeeding superset exists; `succeed_lo > 0` proves one does), otherwise
+/// the exact kernel path runs unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupportBounds {
+    /// Lower bound on the failing satisfying-run count.
+    pub fail_lo: usize,
+    /// Upper bound on the failing satisfying-run count.
+    pub fail_hi: usize,
+    /// Lower bound on the succeeding satisfying-run count.
+    pub succeed_lo: usize,
+    /// Upper bound on the succeeding satisfying-run count.
+    pub succeed_hi: usize,
+}
+
+impl SupportBounds {
+    /// True when an exact `(failing, succeeding)` support lies within the
+    /// bounds — the admissibility invariant the conformance suite pins.
+    pub fn admits(&self, (failing, succeeding): (usize, usize)) -> bool {
+        self.fail_lo <= failing
+            && failing <= self.fail_hi
+            && self.succeed_lo <= succeeding
+            && succeeding <= self.succeed_hi
+    }
+
+    /// True when the bounds pin both counts exactly (`lo == hi` on both
+    /// outcomes), so the exact support is known without any scan.
+    pub fn is_exact(&self) -> bool {
+        self.fail_lo == self.fail_hi && self.succeed_lo == self.succeed_hi
+    }
+}
+
+/// Per-epoch integer count tables the bounds layer reads: the epoch's
+/// outcome counts plus *cumulative* per-value run counts (`cum[base + v]` =
+/// indexable runs in the epoch whose value index for that parameter is
+/// `≤ v`), so any predicate's per-epoch satisfying-run count is an
+/// adjacent-difference per allowed range — the integer twin of the frozen
+/// block's adjacent-prefix popcount difference. Built at freeze time from
+/// the incrementally maintained current-epoch counts and kept through
+/// retirement (4 bytes per value, negligible next to the arena).
+#[derive(Debug, Clone)]
+struct EpochCounts {
+    /// Failing runs in the epoch (overflow runs included).
+    failing: u32,
+    /// Succeeding runs in the epoch (overflow runs included).
+    succeeding: u32,
+    /// Indexable (densely encoded) runs in the epoch.
+    indexed: u32,
+    /// Cumulative per-(parameter, value) run counts, `offsets` layout.
+    cum: Box<[u32]>,
+}
+
+impl EpochCounts {
+    /// Runs in the epoch satisfying a predicate with the given flat-index
+    /// base and allowed-value ranges: an adjacent difference per range.
+    #[inline]
+    fn pred_count(&self, base: usize, ranges: &Ranges) -> u32 {
+        let mut n = 0u32;
+        for &(lo, hi) in ranges.as_slice() {
+            let below = if lo == 0 { 0 } else { self.cum[base + lo as usize - 1] };
+            n += self.cum[base + hi as usize] - below;
+        }
+        n
     }
 }
 
@@ -311,6 +395,13 @@ struct PredPlan {
     param: usize,
     ranges: Ranges,
     mask: Vec<u64>,
+}
+
+/// A predicate resolved for the bounds layer only: its flat-index base and
+/// its allowed-value ranges. No bit masks — bounds never scan words.
+struct BoundPlan {
+    base: usize,
+    ranges: Ranges,
 }
 
 /// Reusable scratch for the per-predicate term slices of frozen-epoch scans
@@ -398,6 +489,20 @@ pub struct ProvenanceStore {
     /// block: recording a run is one `|=` per parameter, and freezing is a
     /// move plus the in-place prefix conversion.
     current: Vec<u64>,
+    /// Integer count tables of every *full* epoch (frozen or retired), in
+    /// epoch order — the bounds layer's only input for full epochs.
+    epoch_counts: Vec<EpochCounts>,
+    /// Per-(parameter, value) run counts of the in-progress epoch,
+    /// maintained incrementally by `record` (one increment per parameter) so
+    /// the bounds layer never scans the raw block.
+    current_counts: Vec<u32>,
+    /// `(failing, succeeding, indexed)` counts among the in-progress
+    /// epoch's runs, reset at each freeze.
+    tail_counts: (u32, u32, u32),
+    /// Gate for the admissible-bounds early-outs on `support` /
+    /// `succeeding_superset_exists` (on by default; see
+    /// [`set_bounds_enabled`](Self::set_bounds_enabled)).
+    bounds_enabled: bool,
     /// Runs in the in-progress epoch — always `runs.len() % epoch_runs`,
     /// carried as a counter so the record hot path never divides by the
     /// (runtime-chosen, not necessarily power-of-two) epoch size.
@@ -460,6 +565,10 @@ impl ProvenanceStore {
             blocks: Vec::new(),
             summaries: Vec::new(),
             current: vec![0u64; total as usize * (epoch_runs / 64)],
+            epoch_counts: Vec::new(),
+            current_counts: vec![0u32; total as usize],
+            tail_counts: (0, 0, 0),
+            bounds_enabled: true,
             tail_runs: 0,
             max_live_epochs: None,
             fail_bits: RunSet::new(),
@@ -507,6 +616,31 @@ impl ProvenanceStore {
         )
     }
 
+    /// Enables or disables the admissible-bounds early-outs layered on
+    /// [`support`](Self::support) and
+    /// [`succeeding_superset_exists`](Self::succeeding_superset_exists)
+    /// (enabled by default). Pruning is exact-preserving — results are
+    /// bit-identical either way — so the switch exists for differential
+    /// testing and as an escape hatch, not for correctness.
+    pub fn set_bounds_enabled(&mut self, enabled: bool) {
+        self.bounds_enabled = enabled;
+    }
+
+    /// Whether the bounds-layer early-outs are enabled.
+    pub fn bounds_enabled(&self) -> bool {
+        self.bounds_enabled
+    }
+
+    /// `(bounds_short_circuits, bounds_fallthroughs)`: queries the bounds
+    /// layer decided outright versus queries whose bounds were inconclusive
+    /// and fell through to the exact kernel path.
+    pub fn bounds_counters(&self) -> (u64, u64) {
+        (
+            self.query_stats.bounds_short_circuits.load(Ordering::Relaxed),
+            self.query_stats.bounds_fallthroughs.load(Ordering::Relaxed),
+        )
+    }
+
     /// True when a query over `full` frozen/retired epochs should fan out.
     #[inline]
     fn use_parallel(&self, full_epochs: usize) -> bool {
@@ -546,6 +680,26 @@ impl ProvenanceStore {
         }
         self.blocks.push(Some(block));
         self.summaries.push(None);
+        // Fold the incrementally maintained per-value counts into the
+        // epoch's cumulative count table (prefix-sum per parameter — the
+        // integer twin of the prefix-OR conversion above) and reset them
+        // for the next epoch.
+        let mut cum = std::mem::replace(&mut self.current_counts, vec![0u32; total])
+            .into_boxed_slice();
+        for (p, &base) in self.space.ids().zip(&self.offsets) {
+            let base = base as usize;
+            for v in 1..self.space.domain(p).len() {
+                cum[base + v] += cum[base + v - 1];
+            }
+        }
+        let (failing, succeeding, indexed) = self.tail_counts;
+        self.tail_counts = (0, 0, 0);
+        self.epoch_counts.push(EpochCounts {
+            failing,
+            succeeding,
+            indexed,
+            cum,
+        });
         if let Some(keep) = self.max_live_epochs {
             self.compact(keep);
         }
@@ -951,7 +1105,9 @@ impl ProvenanceStore {
             let w = self.epoch_words;
             for (&off, &vi) in self.offsets.iter().zip(key) {
                 self.current[(off as usize + vi as usize) * w + word] |= bit;
+                self.current_counts[off as usize + vi as usize] += 1;
             }
+            self.tail_counts.2 += 1;
             self.by_key.insert_at(slot, fp, idx as u32, key);
         }
         if let Some(k) = encoded {
@@ -965,8 +1121,14 @@ impl ProvenanceStore {
     fn finish_record(&mut self, instance: Instance, eval: EvalResult) -> bool {
         let idx = self.runs.len();
         match eval.outcome {
-            Outcome::Fail => self.fail_bits.insert(idx),
-            Outcome::Succeed => self.succeed_bits.insert(idx),
+            Outcome::Fail => {
+                self.fail_bits.insert(idx);
+                self.tail_counts.0 += 1;
+            }
+            Outcome::Succeed => {
+                self.succeed_bits.insert(idx);
+                self.tail_counts.1 += 1;
+            }
         }
         self.runs.push(Run { instance, eval });
         self.tail_runs += 1;
@@ -1199,13 +1361,41 @@ impl ProvenanceStore {
     /// *succeeding* run whose parameter-values are a superset of the
     /// hypothetical root cause `D`? If so, `D` is not definitive.
     ///
+    /// Asks the admissible bounds first (unless
+    /// [disabled](Self::set_bounds_enabled)): `succeed_hi == 0` proves no
+    /// succeeding satisfying run exists, `succeed_lo > 0` proves one does —
+    /// either way the answer is returned from integer arithmetic alone.
+    /// Only an inconclusive bound falls through to the exact kernel scan,
+    /// so the result is always bit-identical to
+    /// [`succeeding_superset_exists_exact`](Self::succeeding_superset_exists_exact).
+    pub fn succeeding_superset_exists(&self, cause: &Conjunction) -> bool {
+        if self.bounds_enabled && !cause.is_empty() {
+            let b = self.support_bounds(cause);
+            if b.succeed_hi == 0 || b.succeed_lo > 0 {
+                self.query_stats
+                    .bounds_short_circuits
+                    .fetch_add(1, Ordering::Relaxed);
+                return b.succeed_lo > 0;
+            }
+            self.query_stats
+                .bounds_fallthroughs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.succeeding_superset_exists_exact(cause)
+    }
+
+    /// The exact kernel path of
+    /// [`succeeding_superset_exists`](Self::succeeding_superset_exists),
+    /// with no bounds-layer early-out — the reference the pruned entry point
+    /// must stay bit-identical to.
+    ///
     /// Evaluated epoch by epoch with an early exit on the first succeeding
     /// intersection, never materializing the satisfying set; above the
     /// parallel threshold the epochs are fanned out across the query
     /// workers (a shared flag stops the remaining workers early — the
     /// boolean merge is order-independent, so the result is identical to
     /// the sequential scan).
-    pub fn succeeding_superset_exists(&self, cause: &Conjunction) -> bool {
+    pub fn succeeding_superset_exists_exact(&self, cause: &Conjunction) -> bool {
         if cause.is_empty() {
             return !self.succeed_bits.is_empty();
         }
@@ -1441,6 +1631,295 @@ impl ProvenanceStore {
                     }
                 }
             }
+        }
+        out
+    }
+
+    /// Resolves each predicate of a non-empty conjunction for the bounds
+    /// layer: flat-index bases and allowed-value ranges only, no bit masks.
+    fn plan_bounds(&self, cause: &Conjunction) -> Vec<BoundPlan> {
+        cause
+            .predicates()
+            .iter()
+            .map(|pred| BoundPlan {
+                base: self.offsets[pred.param.index()] as usize,
+                ranges: Self::pred_ranges(pred, self.space.domain(pred.param)),
+            })
+            .collect()
+    }
+
+    /// Runs in the in-progress epoch satisfying a predicate: a sum of the
+    /// incrementally maintained per-value counts over its allowed ranges.
+    fn current_pred_count(&self, plan: &BoundPlan) -> u32 {
+        plan.ranges
+            .as_slice()
+            .iter()
+            .map(|&(lo, hi)| {
+                self.current_counts[plan.base + lo as usize..=plan.base + hi as usize]
+                    .iter()
+                    .sum::<u32>()
+            })
+            .sum()
+    }
+
+    /// Folds one epoch's admissible contribution into `b`, given that
+    /// epoch's per-predicate satisfying-run counts (`count_of`), its
+    /// indexable-run total, and its outcome counts.
+    ///
+    /// Upper bound: a conjunction satisfies at most the *minimum* of its
+    /// predicates' counts, capped by either outcome's epoch count. Lower
+    /// bound: Bonferroni — at least `Σ counts − (k−1)·indexed` runs satisfy
+    /// all `k` predicates at once; subtracting the opposite outcome's epoch
+    /// count splits that into per-outcome lower bounds. Overflow runs are
+    /// absent from the count tables (their outcome counts only loosen the
+    /// caps admissibly) and are accounted exactly by the caller.
+    fn fold_epoch_bound(
+        b: &mut SupportBounds,
+        plans: &[BoundPlan],
+        indexed: u32,
+        failing: u32,
+        succeeding: u32,
+        mut count_of: impl FnMut(&BoundPlan) -> u32,
+    ) {
+        let mut min_c = u32::MAX;
+        let mut sum = 0u64;
+        for p in plans {
+            let c = count_of(p).min(indexed);
+            if c == 0 {
+                // Some predicate matches no run here: the epoch contributes
+                // exactly zero to every bound.
+                return;
+            }
+            min_c = min_c.min(c);
+            sum += c as u64;
+        }
+        let s_hi = min_c as usize;
+        let s_lo = sum.saturating_sub((plans.len() as u64 - 1) * indexed as u64) as usize;
+        b.fail_hi += s_hi.min(failing as usize);
+        b.succeed_hi += s_hi.min(succeeding as usize);
+        b.fail_lo += s_lo.saturating_sub(succeeding as usize);
+        b.succeed_lo += s_lo.saturating_sub(failing as usize);
+    }
+
+    /// Admissible bounds on [`support`](Self::support) — see
+    /// [`SupportBounds`] for the invariant. Computed from per-epoch integer
+    /// count tables only, O(epochs × predicates) arithmetic, never a
+    /// word-level scan: full (frozen or retired) epochs are answered from
+    /// their cumulative count tables by adjacent differences per predicate
+    /// range (the integer twin of a frozen block's adjacent-prefix popcount
+    /// difference), the in-progress epoch from the incrementally maintained
+    /// current counts, and overflow runs interpretively (they are few and
+    /// live outside the count tables).
+    pub fn support_bounds(&self, cause: &Conjunction) -> SupportBounds {
+        if cause.is_empty() {
+            let (f, s) = (self.num_failing(), self.num_succeeding());
+            return SupportBounds {
+                fail_lo: f,
+                fail_hi: f,
+                succeed_lo: s,
+                succeed_hi: s,
+            };
+        }
+        let plans = self.plan_bounds(cause);
+        let mut b = SupportBounds::default();
+        for counts in &self.epoch_counts {
+            Self::fold_epoch_bound(
+                &mut b,
+                &plans,
+                counts.indexed,
+                counts.failing,
+                counts.succeeding,
+                |p| counts.pred_count(p.base, &p.ranges),
+            );
+        }
+        let (tail_f, tail_s, tail_idx) = self.tail_counts;
+        if tail_f + tail_s > 0 {
+            Self::fold_epoch_bound(&mut b, &plans, tail_idx, tail_f, tail_s, |p| {
+                self.current_pred_count(p)
+            });
+        }
+        for &i in &self.overflow {
+            let run = &self.runs[i as usize];
+            if cause.satisfied_by(&run.instance) {
+                match run.outcome() {
+                    Outcome::Fail => {
+                        b.fail_lo += 1;
+                        b.fail_hi += 1;
+                    }
+                    Outcome::Succeed => {
+                        b.succeed_lo += 1;
+                        b.succeed_hi += 1;
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// [`support_bounds`](Self::support_bounds) for a batch, epoch-major
+    /// like [`support_many`](Self::support_many): every conjunction is
+    /// folded against each epoch's count table while it is cache-hot.
+    /// Results are identical to calling `support_bounds` once per cause.
+    pub fn support_bounds_many(&self, causes: &[Conjunction]) -> Vec<SupportBounds> {
+        let plans: Vec<Option<Vec<BoundPlan>>> = causes
+            .iter()
+            .map(|c| (!c.is_empty()).then(|| self.plan_bounds(c)))
+            .collect();
+        let mut out = vec![SupportBounds::default(); causes.len()];
+        for counts in &self.epoch_counts {
+            for (b, plan) in out.iter_mut().zip(&plans) {
+                if let Some(preds) = plan {
+                    Self::fold_epoch_bound(
+                        b,
+                        preds,
+                        counts.indexed,
+                        counts.failing,
+                        counts.succeeding,
+                        |p| counts.pred_count(p.base, &p.ranges),
+                    );
+                }
+            }
+        }
+        let (tail_f, tail_s, tail_idx) = self.tail_counts;
+        for (ci, (b, plan)) in out.iter_mut().zip(&plans).enumerate() {
+            match plan {
+                None => {
+                    let (f, s) = (self.num_failing(), self.num_succeeding());
+                    *b = SupportBounds {
+                        fail_lo: f,
+                        fail_hi: f,
+                        succeed_lo: s,
+                        succeed_hi: s,
+                    };
+                }
+                Some(preds) => {
+                    if tail_f + tail_s > 0 {
+                        Self::fold_epoch_bound(b, preds, tail_idx, tail_f, tail_s, |p| {
+                            self.current_pred_count(p)
+                        });
+                    }
+                    for &i in &self.overflow {
+                        let run = &self.runs[i as usize];
+                        if causes[ci].satisfied_by(&run.instance) {
+                            match run.outcome() {
+                                Outcome::Fail => {
+                                    b.fail_lo += 1;
+                                    b.fail_hi += 1;
+                                }
+                                Outcome::Succeed => {
+                                    b.succeed_lo += 1;
+                                    b.succeed_hi += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// [`support`](Self::support) with the bounds-layer early-out: when the
+    /// admissible bounds already pin both counts (`lo == hi` on both
+    /// outcomes), the pinned values are returned without any word-level
+    /// scan; otherwise the exact path runs. Bit-identical to `support`
+    /// either way.
+    pub fn support_via_bounds(&self, cause: &Conjunction) -> (usize, usize) {
+        if self.bounds_enabled {
+            let b = self.support_bounds(cause);
+            if b.is_exact() {
+                self.query_stats
+                    .bounds_short_circuits
+                    .fetch_add(1, Ordering::Relaxed);
+                return (b.fail_lo, b.succeed_lo);
+            }
+            self.query_stats
+                .bounds_fallthroughs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.support(cause)
+    }
+
+    /// [`succeeding_superset_exists`](Self::succeeding_superset_exists) for
+    /// a batch of candidate causes in one store round-trip. The bounds layer
+    /// decides what it can from integer arithmetic; the undecided remainder
+    /// is then swept **epoch-major** — every undecided cause is evaluated
+    /// against each epoch block while it is cache-hot, each cause dropping
+    /// out at its first succeeding intersection. Results are identical to
+    /// calling the single-cause check once per cause.
+    pub fn succeeding_superset_exists_many(&self, causes: &[Conjunction]) -> Vec<bool> {
+        let mut out = vec![false; causes.len()];
+        let mut undecided: Vec<usize> = Vec::new();
+        for (i, cause) in causes.iter().enumerate() {
+            if cause.is_empty() {
+                out[i] = !self.succeed_bits.is_empty();
+            } else if self.bounds_enabled {
+                let b = self.support_bounds(cause);
+                if b.succeed_hi == 0 || b.succeed_lo > 0 {
+                    self.query_stats
+                        .bounds_short_circuits
+                        .fetch_add(1, Ordering::Relaxed);
+                    out[i] = b.succeed_lo > 0;
+                } else {
+                    self.query_stats
+                        .bounds_fallthroughs
+                        .fetch_add(1, Ordering::Relaxed);
+                    undecided.push(i);
+                }
+            } else {
+                undecided.push(i);
+            }
+        }
+        if undecided.is_empty() {
+            return out;
+        }
+        let mut plans: Vec<(usize, Vec<PredPlan>)> = undecided
+            .into_iter()
+            .map(|i| (i, self.plan_predicates(&causes[i])))
+            .collect();
+        let full = self.blocks.len();
+        let w = self.epoch_words;
+        for _ in 0..plans.len() {
+            self.note_query(full, false);
+        }
+        // Overflow runs and the in-progress epoch first, mirroring the
+        // single-cause scan order (cheapest evidence, most recent runs).
+        plans.retain(|&(i, _)| {
+            let hit = self.overflow.iter().any(|&r| {
+                let run = &self.runs[r as usize];
+                run.outcome().is_succeed() && causes[i].satisfied_by(&run.instance)
+            });
+            out[i] = hit;
+            !hit
+        });
+        let cur_base = full * self.epoch_runs;
+        let used = (self.runs.len() - cur_base).div_ceil(64);
+        if used > 0 {
+            let mut acc = vec![0u64; used];
+            plans.retain(|(i, preds)| {
+                let hit = self.current_acc_into(preds, &mut acc)
+                    && kernels::and_any(
+                        &acc,
+                        words_from(self.succeed_bits.words(), cur_base / 64),
+                    );
+                out[*i] = hit;
+                !hit
+            });
+        }
+        let mut scratch = TermScratch::default();
+        let mut acc = vec![0u64; w];
+        for e in 0..full {
+            if plans.is_empty() {
+                break;
+            }
+            plans.retain(|(i, preds)| {
+                let hit = self.epoch_acc_into(e, preds, &mut scratch, &mut acc)
+                    && kernels::and_any(&acc, words_from(self.succeed_bits.words(), e * w));
+                if hit {
+                    out[*i] = true;
+                }
+                !hit
+            });
         }
         out
     }
@@ -1850,6 +2329,95 @@ mod tests {
         let c = Conjunction::new(vec![Predicate::eq(ds, Value::from("Iris"))]);
         assert_eq!(p.support(&c), (1, 1));
         assert_eq!(p.support(&Conjunction::top()), (1, 2));
+    }
+
+    #[test]
+    fn support_bounds_admissible_on_epoch_store() {
+        for n in [40usize, 64, 100, 128] {
+            let (s, mut p) = epoch_store(n);
+            let x = s.by_name("x").unwrap();
+            let y = s.by_name("y").unwrap();
+            let causes = vec![
+                Conjunction::top(),
+                Conjunction::new(vec![Predicate::eq(x, 3)]),
+                Conjunction::new(vec![Predicate::eq(x, 3), Predicate::eq(y, 2)]),
+                Conjunction::new(vec![Predicate::new(x, crate::Comparator::Le, 4)]),
+                Conjunction::new(vec![
+                    Predicate::new(x, crate::Comparator::Gt, 5),
+                    Predicate::new(y, crate::Comparator::Le, 3),
+                ]),
+            ];
+            for compacted in [false, true] {
+                if compacted {
+                    p.compact(0);
+                }
+                let batched = p.support_bounds_many(&causes);
+                for (k, c) in causes.iter().enumerate() {
+                    let exact = p.support(c);
+                    let b = p.support_bounds(c);
+                    assert!(
+                        b.admits(exact),
+                        "bounds {b:?} exclude exact {exact:?} (n={n}, compacted={compacted})"
+                    );
+                    assert!(b.fail_lo <= b.fail_hi && b.succeed_lo <= b.succeed_hi);
+                    assert_eq!(batched[k], b, "batched bounds diverge (n={n})");
+                    assert_eq!(p.support_via_bounds(c), exact);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_superset_matches_exact_scalar() {
+        let (s, mut p) = epoch_store(100);
+        let x = s.by_name("x").unwrap();
+        let y = s.by_name("y").unwrap();
+        let causes: Vec<Conjunction> = (0..16)
+            .map(|v| {
+                let mut preds = vec![Predicate::eq(x, v as i64)];
+                if v % 3 == 0 {
+                    preds.push(Predicate::new(y, crate::Comparator::Gt, (v % 8) as i64));
+                }
+                Conjunction::new(preds)
+            })
+            .chain([Conjunction::top()])
+            .collect();
+        for compacted in [false, true] {
+            if compacted {
+                p.compact(0);
+            }
+            let batched = p.succeeding_superset_exists_many(&causes);
+            let scalar: Vec<bool> = causes
+                .iter()
+                .map(|c| p.succeeding_superset_exists_exact(c))
+                .collect();
+            assert_eq!(batched, scalar, "compacted={compacted}");
+        }
+    }
+
+    #[test]
+    fn bounds_counters_and_escape_hatch() {
+        let s = space();
+        let mut p = table1(&s);
+        let version = s.by_name("Version").unwrap();
+        // Version = 1: two succeeding rows — the lower bound alone proves a
+        // succeeding superset (short-circuit). Version = 2: one failing row —
+        // the bound is inconclusive (hi = 1, lo = 0) and falls through.
+        let d1 = Conjunction::new(vec![Predicate::eq(version, 1)]);
+        let d2 = Conjunction::new(vec![Predicate::eq(version, 2)]);
+        assert!(p.succeeding_superset_exists(&d1));
+        assert!(!p.succeeding_superset_exists(&d2));
+        let (short, fall) = p.bounds_counters();
+        assert!(short >= 1, "lower-bound witness never short-circuited");
+        assert!(fall >= 1, "inconclusive bound never fell through");
+        // The escape hatch: disabling bounds routes every query to the exact
+        // path, answers stay identical, and the counters freeze.
+        p.set_bounds_enabled(false);
+        assert!(!p.bounds_enabled());
+        let before = p.bounds_counters();
+        assert!(p.succeeding_superset_exists(&d1));
+        assert!(!p.succeeding_superset_exists(&d2));
+        assert_eq!(p.bounds_counters(), before);
     }
 
     /// Records the first `n` distinct instances of a 16×8 space (128 total,

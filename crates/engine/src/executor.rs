@@ -136,6 +136,11 @@ pub struct ExecutorConfig {
     /// newly recorded execution to the write-ahead log; see [`PersistConfig`]
     /// and the `bugdoc-store` crate docs.
     pub persist: Option<PersistConfig>,
+    /// Bound-guided pruning of provenance queries (default: on). Pruning is
+    /// exact-preserving — diagnosis outputs are bit-identical either way —
+    /// so this is an escape hatch / differential-testing switch, not a
+    /// correctness knob. Mirrors the spec keyword `bounds off`.
+    pub bounds: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -145,6 +150,7 @@ impl Default for ExecutorConfig {
             budget: None,
             memory: MemoryBudget::Unbounded,
             persist: None,
+            bounds: true,
         }
     }
 }
@@ -175,6 +181,17 @@ pub struct ExecStats {
     /// Total frozen/retired epochs visited by provenance queries, across
     /// both the sequential and parallel paths.
     pub epochs_scanned: u64,
+    /// Search subtrees / candidate causes the algorithms discarded on the
+    /// strength of an admissible bound alone, skipping their verification
+    /// queries entirely (exact-preserving — the skipped work was provably
+    /// decided).
+    pub bounds_pruned_subtrees: u64,
+    /// Provenance queries fully answered by the bounds layer's integer
+    /// arithmetic, with no word-level scan.
+    pub bounds_short_circuits: u64,
+    /// Provenance queries whose bounds were inconclusive and fell through
+    /// to the exact kernel path (the bound cost is then pure overhead).
+    pub bounds_fallthroughs: u64,
 }
 
 /// Pass-through hasher for keys that are already FxHash fingerprints.
@@ -436,6 +453,9 @@ struct AtomicStats {
     log_rederivations: AtomicUsize,
     /// Virtual-clock seconds, stored as `f64` bits.
     sim_time_bits: AtomicU64,
+    /// Candidates the algorithms pruned on a bound alone (see
+    /// [`ExecStats::bounds_pruned_subtrees`]).
+    bounds_pruned_subtrees: AtomicU64,
 }
 
 impl AtomicStats {
@@ -449,13 +469,16 @@ impl AtomicStats {
 
     /// Snapshot; `shard_hits`/`evictions` are the sums of the read cache's
     /// per-shard counters (keyed cache hits are counted at the shard they
-    /// touch), and `(parallel_epoch_queries, epochs_scanned)` comes from the
-    /// provenance store's query counters.
+    /// touch), `(parallel_epoch_queries, epochs_scanned)` comes from the
+    /// provenance store's query counters, and
+    /// `(bounds_short_circuits, bounds_fallthroughs)` from its bounds
+    /// counters.
     fn snapshot(
         &self,
         shard_hits: usize,
         evictions: usize,
         (parallel_epoch_queries, epochs_scanned): (u64, u64),
+        (bounds_short_circuits, bounds_fallthroughs): (u64, u64),
     ) -> ExecStats {
         ExecStats {
             new_executions: self.new_executions.load(Ordering::SeqCst),
@@ -469,6 +492,9 @@ impl AtomicStats {
             )),
             parallel_epoch_queries,
             epochs_scanned,
+            bounds_pruned_subtrees: self.bounds_pruned_subtrees.load(Ordering::SeqCst),
+            bounds_short_circuits,
+            bounds_fallthroughs,
         }
     }
 }
@@ -555,6 +581,7 @@ impl Executor {
         // dispatcher simulates; below the epoch threshold they stay
         // sequential, so a small log never pays for threads.
         provenance.set_query_workers(config.workers);
+        provenance.set_bounds_enabled(config.bounds);
         let cache = ReadCache::new(config.memory);
         for run in provenance.runs() {
             let key: Option<Box<[u32]>> = run
@@ -655,9 +682,27 @@ impl Executor {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> ExecStats {
-        let query_counters = self.provenance.read().query_counters();
-        self.stats
-            .snapshot(self.cache.hits(), self.cache.evictions(), query_counters)
+        let (query_counters, bounds_counters) = {
+            let prov = self.provenance.read();
+            (prov.query_counters(), prov.bounds_counters())
+        };
+        self.stats.snapshot(
+            self.cache.hits(),
+            self.cache.evictions(),
+            query_counters,
+            bounds_counters,
+        )
+    }
+
+    /// Counts `n` candidate causes / search subtrees that an algorithm
+    /// discarded on the strength of an admissible bound alone (surfaced as
+    /// [`ExecStats::bounds_pruned_subtrees`]).
+    pub fn note_bounds_pruned(&self, n: u64) {
+        if n > 0 {
+            self.stats
+                .bounds_pruned_subtrees
+                .fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Outcomes currently held in the read cache (equals the number of

@@ -87,7 +87,7 @@ pub mod prelude {
     };
     pub use bugdoc_core::{
         Comparator, Conjunction, Dnf, Domain, EvalResult, Instance, Outcome, ParamId, ParamSpace,
-        Predicate, ProvenanceStore, Value,
+        Predicate, ProvenanceStore, SupportBounds, Value,
     };
     pub use bugdoc_engine::{
         Executor, ExecutorConfig, FnPipeline, HistoricalPipeline, MemoryBudget, PersistConfig,
