@@ -200,6 +200,7 @@ struct IdentityHasher(u64);
 
 impl std::hash::Hasher for IdentityHasher {
     fn write(&mut self, _bytes: &[u8]) {
+        // lint: allow(W003, reason = "the map's key type is u64, so the hasher only ever receives write_u64; reaching this is a type-level contract violation")
         unreachable!("identity hasher is only fed u64 fingerprints");
     }
 
@@ -320,6 +321,7 @@ impl ShardInner {
     /// One CLOCK sweep: clears reference bits until an unreferenced entry is
     /// found, then evicts it at the hand (the ring `swap_remove` keeps the
     /// ring↔map correspondence exact).
+    // lint: allow(W003, reason = "the hand is wrapped to ring.len() at the top of every sweep iteration, and the ring and map hold the same fingerprints by the insert/evict invariant the expect states", scope = "block")
     fn evict_one(&mut self) {
         debug_assert!(!self.ring.is_empty(), "evict_one on an empty shard");
         loop {
@@ -377,6 +379,7 @@ impl ReadCache {
     #[inline]
     fn shard(&self, fp: u64) -> &CacheShard {
         const _: () = assert!(CACHE_SHARDS.is_power_of_two());
+        // lint: allow(W003, reason = "the index is masked by CACHE_SHARDS - 1 and shards holds exactly CACHE_SHARDS entries")
         &self.shards[(fp >> (64 - CACHE_SHARDS.trailing_zeros())) as usize & (CACHE_SHARDS - 1)]
     }
 
@@ -391,6 +394,7 @@ impl ReadCache {
             Some(entry) if entry.key.as_ref() == key => {
                 // The second-chance bit only matters when eviction can
                 // happen; unbounded mode skips the shared-line write.
+                // Relaxed: a lost race just ages the entry one sweep early.
                 if bounded {
                     entry.referenced.store(true, Ordering::Relaxed);
                 }
@@ -399,6 +403,7 @@ impl ReadCache {
             _ => None,
         };
         drop(inner);
+        // Relaxed: telemetry-only hit counter, never read for control flow.
         if hit.is_some() {
             shard.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -411,6 +416,7 @@ impl ReadCache {
             .inner
             .write()
             .insert(fp, key, outcome, self.max_entries, self.max_bytes);
+        // Relaxed: telemetry-only eviction counter.
         if evicted > 0 {
             shard.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
@@ -426,6 +432,7 @@ impl ReadCache {
     fn hits(&self) -> usize {
         self.shards
             .iter()
+            // Relaxed: summing telemetry counters for a diagnostic readout.
             .map(|s| s.hits.load(Ordering::Relaxed))
             .sum()
     }
@@ -433,6 +440,7 @@ impl ReadCache {
     fn evictions(&self) -> usize {
         self.shards
             .iter()
+            // Relaxed: summing telemetry counters for a diagnostic readout.
             .map(|s| s.evictions.load(Ordering::Relaxed))
             .sum()
     }
@@ -522,6 +530,7 @@ impl Executor {
     /// cannot be opened; use [`Executor::try_new`] to handle that.
     pub fn new(pipeline: Arc<dyn Pipeline>, config: ExecutorConfig) -> Self {
         Executor::try_new(pipeline, config)
+            // lint: allow(W003, reason = "documented panicking constructor; try_new is the fallible variant")
             .unwrap_or_else(|e| panic!("cannot open durable provenance: {e}"))
     }
 
@@ -537,6 +546,7 @@ impl Executor {
         provenance: ProvenanceStore,
     ) -> Self {
         Executor::try_with_provenance(pipeline, config, provenance)
+            // lint: allow(W003, reason = "documented panicking constructor; try_with_provenance is the fallible variant")
             .unwrap_or_else(|e| panic!("cannot open durable provenance: {e}"))
     }
 
@@ -570,6 +580,7 @@ impl Executor {
                     DurableStore::open(&space, persist_config)?;
                 for run in provenance.runs() {
                     if recovered.record(run.instance.clone(), run.eval) {
+                        // lint: allow(W003, reason = "record returned true, so the run log is non-empty and last() is the run just appended")
                         let stored = recovered.runs().last().expect("just recorded");
                         durable.append_with_snapshot(stored, &recovered)?;
                     }
@@ -623,6 +634,7 @@ impl Executor {
     /// the worker pool behind the exclusive lock.
     /// An I/O failure here panics: the executor cannot honor its durability
     /// contract, and continuing would silently fork disk from memory.
+    // lint: allow(W003, reason = "called only with the just-recorded run in the log (the expect); the panic on WAL I/O failure is the documented durability contract -- continuing would silently fork disk from memory", scope = "block")
     fn persist_record(&self, prov: &ProvenanceStore) -> bool {
         match &self.persist {
             None => false,
@@ -642,6 +654,7 @@ impl Executor {
     /// store is exactly the appended prefix — the snapshot is consistent
     /// with the log position it covers). Racing callers are fine: the due
     /// flag is re-checked under the persist lock and the loser no-ops.
+    // lint: allow(W003, reason = "the panic on snapshot I/O failure is the documented durability contract, as in persist_record", scope = "block")
     fn persist_snapshot_if_due(&self, due: bool) {
         if !due {
             return;
@@ -699,6 +712,7 @@ impl Executor {
     /// [`ExecStats::bounds_pruned_subtrees`]).
     pub fn note_bounds_pruned(&self, n: u64) {
         if n > 0 {
+            // Relaxed: telemetry-only counter, no control-flow reads.
             self.stats
                 .bounds_pruned_subtrees
                 .fetch_add(n, Ordering::Relaxed);
@@ -762,6 +776,8 @@ impl Executor {
     /// the same instance while this one was executing it.
     fn reclassify_as_hit(&self) {
         self.stats.new_executions.fetch_sub(1, Ordering::SeqCst);
+        // Relaxed: the budget gate reads new_executions (SeqCst above);
+        // cache_hits is telemetry only.
         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -787,6 +803,7 @@ impl Executor {
                 }
                 let rederived = self.provenance.read().lookup(instance).map(|e| e.outcome);
                 if let Some(outcome) = rederived {
+                    // Relaxed: telemetry-only counters.
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     self.stats.log_rederivations.fetch_add(1, Ordering::Relaxed);
                     self.cache.insert(fp, k.into(), outcome);
@@ -795,6 +812,7 @@ impl Executor {
             }
             None => {
                 let hit = self.provenance.read().lookup(instance).map(|e| e.outcome);
+                // Relaxed: telemetry-only counter.
                 if hit.is_some() {
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -819,6 +837,7 @@ impl Executor {
             (Some(k), _) => Some((
                 instance
                     .dense_fingerprint()
+                    // lint: allow(W003, reason = "Instance invariant: a dense key and its fingerprint travel together")
                     .expect("fingerprint accompanies the dense key"),
                 k,
             )),
@@ -829,6 +848,7 @@ impl Executor {
             return Ok(outcome);
         }
         if !self.try_reserve() {
+            // Relaxed: telemetry-only counter.
             self.stats.budget_refusals.fetch_add(1, Ordering::Relaxed);
             return Err(ExecError::BudgetExhausted);
         }
@@ -854,6 +874,7 @@ impl Executor {
             }
             Err(PipelineError::Unavailable) => {
                 self.release_slot();
+                // Relaxed: telemetry-only counter.
                 self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
                 Err(ExecError::Unavailable)
             }
@@ -870,6 +891,7 @@ impl Executor {
     /// The virtual clock advances by the makespan of greedy list scheduling
     /// of the executed instances' costs on `workers` machines — the quantity
     /// the paper's Figure 6 tracks as core counts grow.
+    // lint: allow(W003, reason = "results/keys/encoded are all sized to instances.len() and indexed by batch positions from the same enumerate (to_run holds such positions); the scope/join expects propagate worker panics; first_occurrence is populated before any duplicate reads it", scope = "block")
     pub fn evaluate_batch(&self, instances: &[Instance]) -> Vec<Result<Outcome, ExecError>> {
         let mut results: Vec<Option<Result<Outcome, ExecError>>> = vec![None; instances.len()];
         // Like `evaluate`, borrow each instance's own dense key; only
@@ -919,6 +941,7 @@ impl Executor {
                 first_occurrence.insert(instance, i);
                 to_run.push(i);
             } else {
+                // Relaxed: telemetry-only counter.
                 self.stats.budget_refusals.fetch_add(1, Ordering::Relaxed);
                 results[i] = Some(Err(ExecError::BudgetExhausted));
                 first_occurrence.insert(instance, i);
@@ -938,6 +961,8 @@ impl Executor {
             crossbeam::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|_| loop {
+                        // Relaxed: a pure fetch_add ticket counter — each
+                        // worker gets a unique k; no other state rides on it.
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= to_run.len() {
                             break;
@@ -980,6 +1005,7 @@ impl Executor {
                     }
                     Err(PipelineError::Unavailable) => {
                         self.release_slot();
+                        // Relaxed: telemetry-only counter.
                         self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
                         results[pos] = Some(Err(ExecError::Unavailable));
                     }
@@ -1033,6 +1059,7 @@ impl Executor {
 /// machines: each job goes to the least-loaded machine, in order. This is the
 /// schedule the dispatcher actually produces (jobs are pulled by idle
 /// workers), so the virtual clock matches the real pool's behaviour.
+// lint: allow(W003, reason = "loads is built non-empty (machines.max(1)) right above, so min_by always yields an in-bounds index", scope = "block")
 fn makespan(costs: &[SimTime], machines: usize) -> SimTime {
     if costs.is_empty() {
         return SimTime::ZERO;

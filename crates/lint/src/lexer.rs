@@ -1,0 +1,398 @@
+//! A minimal Rust lexer: good enough to separate *code* from comments and
+//! literal contents, and to track brace nesting — which is all the rule
+//! engine needs. Not a parser; it never builds a syntax tree.
+//!
+//! For every source line the scan produces:
+//!
+//! * `code` — the line with comments removed and the *interiors* of string /
+//!   raw-string / char / byte literals blanked to spaces (delimiters kept, so
+//!   columns are stable and token boundaries survive). Rules pattern-match
+//!   against this text only, so a forbidden token inside a string or comment
+//!   never fires.
+//! * `comment` — the concatenated text of any comments on the line (line,
+//!   block, and doc comments alike). Allow-annotations and justification
+//!   comments are parsed out of this.
+//! * `depth_start` / `depth_end` — brace nesting depth at the start and end
+//!   of the line, counted over code only. This is what makes block scanning
+//!   (guard lifetimes, `#[cfg(test)]` modules, block-scoped allows)
+//!   nesting-aware.
+//! * `is_test` — the line sits inside a `#[cfg(test)] mod … { … }` block.
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// Masked code: comments stripped, literal interiors blanked.
+    pub code: String,
+    /// Concatenated comment text on this line (empty if none).
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth_start: u32,
+    /// Brace depth at the end of the line.
+    pub depth_end: u32,
+    /// Inside a `#[cfg(test)]` module block.
+    pub is_test: bool,
+}
+
+/// A whole scanned file.
+#[derive(Debug)]
+pub struct Scan {
+    /// Per-line scan results, in order (line numbers are index + 1).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Block comment with nesting depth (Rust block comments nest).
+    Block(u32),
+    Str,
+    RawStr {
+        hashes: u32,
+    },
+    Char,
+}
+
+/// Lexes `source` into per-line masked code + comments + nesting depths.
+pub fn lex(source: &str) -> Scan {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    let mut depth: u32 = 0;
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let depth_start = depth;
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[char_byte_offset(raw, i)..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        // Possibly the body of r"…" / b"…" handled below; a
+                        // bare quote starts a plain string.
+                        state = State::Str;
+                        code.push('"');
+                    }
+                    'r' | 'b' if is_raw_or_byte_literal_start(&chars, i) => {
+                        let (kind, consumed) = literal_prefix(&chars, i);
+                        for _ in 0..consumed {
+                            code.push(chars[i]);
+                            i += 1;
+                        }
+                        state = kind;
+                        // The opening quote itself.
+                        code.push(chars[i]);
+                    }
+                    '\'' => {
+                        if char_literal_starts(&chars, i) {
+                            state = State::Char;
+                            code.push('\'');
+                        } else {
+                            // A lifetime: keep the tick and the label as code.
+                            code.push('\'');
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        code.push('{');
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        code.push('}');
+                    }
+                    _ => code.push(c),
+                },
+                State::Block(d) => {
+                    if c == '*' && next == Some('/') {
+                        state = if d > 1 { State::Block(d - 1) } else { State::Code };
+                        comment.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::Block(d + 1);
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        state = State::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr { hashes } => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                            i += 1;
+                        }
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                State::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        state = State::Code;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+        // A plain string or char literal cannot span lines unless escaped;
+        // an unterminated char literal at EOL was a lifetime misread — recover.
+        if state == State::Char {
+            state = State::Code;
+        }
+        lines.push(Line {
+            code,
+            comment,
+            depth_start,
+            depth_end: depth,
+            is_test: false,
+        });
+    }
+    let mut scan = Scan { lines };
+    mark_test_blocks(&mut scan);
+    scan
+}
+
+/// Byte offset of the `i`-th char in `s` (lines are short; linear is fine).
+fn char_byte_offset(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+/// Does `chars[i..]` start a raw string (`r"` / `r#`) or byte literal
+/// (`b"` / `b'` / `br`)? Requires the previous char to not be part of an
+/// identifier (so `var` ending in `r` is not misread).
+fn is_raw_or_byte_literal_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') | Some('"') => return true,
+            Some('r') => j += 1,
+            _ => return false,
+        }
+    } else if chars[j] == 'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    // After `r` / `br`: hashes then a quote, or a quote directly.
+    while let Some('#') = chars.get(j) {
+        j += 1;
+    }
+    matches!(chars.get(j), Some('"'))
+}
+
+/// Classifies the literal starting at `i` (see
+/// [`is_raw_or_byte_literal_start`]) and returns its state plus how many
+/// prefix chars (`r`, `b`, hashes) precede the opening quote.
+fn literal_prefix(chars: &[char], i: usize) -> (State, usize) {
+    let mut j = i;
+    let mut raw = false;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'r') {
+            raw = true;
+            j += 1;
+        }
+    } else {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('\'') => (State::Char, j - i),
+        _ if raw => (State::RawStr { hashes }, j - i),
+        _ => (State::Str, j - i),
+    }
+}
+
+/// Does the `"` at `i` terminate a raw string with `hashes` trailing `#`s?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal `'x'` / `'\n'` from a lifetime `'a`.
+fn char_literal_starts(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` block as test code.
+/// The attribute applies to the next code line; if that line opens a `mod`
+/// block, the block is test from the `mod` line to the line where depth
+/// returns to the `mod` line's starting depth.
+fn mark_test_blocks(scan: &mut Scan) {
+    let mut pending_attr = false;
+    let mut i = 0;
+    while i < scan.lines.len() {
+        let code = scan.lines[i].code.clone();
+        let has_code = !code.trim().is_empty();
+        if code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            // Same-line `#[cfg(test)] mod t { … }` is handled below.
+            if !code.contains("mod ") {
+                i += 1;
+                continue;
+            }
+        }
+        if pending_attr && has_code {
+            if code.contains("mod ") {
+                let base = scan.lines[i].depth_start;
+                let mut j = i;
+                loop {
+                    scan.lines[j].is_test = true;
+                    if scan.lines[j].depth_end <= base && scan.lines[j].code.contains('}') {
+                        break;
+                    }
+                    j += 1;
+                    if j >= scan.lines.len() {
+                        break;
+                    }
+                }
+                i = j + 1;
+                pending_attr = false;
+                continue;
+            }
+            // `#[cfg(test)]` on a non-mod item: only that item's line (and
+            // its block, if it opens one) is test code.
+            if !code.contains("#[") {
+                let base = scan.lines[i].depth_start;
+                let opens = scan.lines[i].depth_end > base;
+                let mut j = i;
+                loop {
+                    scan.lines[j].is_test = true;
+                    if !opens || (scan.lines[j].depth_end <= base && j > i) {
+                        break;
+                    }
+                    j += 1;
+                    if j >= scan.lines.len() {
+                        break;
+                    }
+                }
+                i = j + 1;
+                pending_attr = false;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_and_captured() {
+        let s = lex("let x = 1; // trailing note\n/* block */ let y = 2;");
+        assert!(s.lines[0].code.contains("let x = 1;"));
+        assert!(!s.lines[0].code.contains("trailing"));
+        assert!(s.lines[0].comment.contains("trailing note"));
+        assert!(s.lines[1].code.contains("let y = 2;"));
+        assert!(s.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_interiors_are_blanked() {
+        let s = lex("let s = \"panic! { } .unwrap()\"; s.len();");
+        assert!(!s.lines[0].code.contains("panic!"));
+        assert!(!s.lines[0].code.contains(".unwrap()"));
+        assert!(s.lines[0].code.contains("s.len();"));
+        assert_eq!(s.lines[0].depth_end, 0, "braces in strings don't count");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let s = lex("let r = r#\"has \"quotes\" and { braces }\"#; let t = 1;");
+        assert!(s.lines[0].code.contains("let t = 1;"));
+        assert_eq!(s.lines[0].depth_end, 0);
+        let s = lex("let q = \"esc \\\" quote\"; done();");
+        assert!(s.lines[0].code.contains("done();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = lex("fn f<'a>(x: &'a str) -> char { '{' }");
+        // The brace char literal must not affect depth.
+        assert_eq!(s.lines[0].depth_end, 0);
+        let s = lex("let c = '\\n'; let open = '{';");
+        assert_eq!(s.lines[0].depth_end, 0);
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = lex("/* outer /* inner */ still */ code();\n/* a\nb */ after();");
+        assert!(s.lines[0].code.contains("code();"));
+        assert!(s.lines[1].code.trim().is_empty());
+        assert!(s.lines[2].code.contains("after();"));
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let s = lex("fn f() {\n    if x {\n    }\n}\n");
+        assert_eq!(s.lines[0].depth_start, 0);
+        assert_eq!(s.lines[0].depth_end, 1);
+        assert_eq!(s.lines[1].depth_end, 2);
+        assert_eq!(s.lines[3].depth_end, 0);
+    }
+
+    #[test]
+    fn cfg_test_mod_blocks_are_marked() {
+        let src = "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn cold() {}\n";
+        let s = lex(src);
+        assert!(!s.lines[0].is_test);
+        assert!(s.lines[2].is_test);
+        assert!(s.lines[3].is_test);
+        assert!(s.lines[4].is_test);
+        assert!(!s.lines[5].is_test);
+    }
+}

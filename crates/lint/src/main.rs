@@ -1,0 +1,91 @@
+//! `bugdoc-lint` binary: lints the workspace (or explicit paths) and exits
+//! non-zero on findings. `--list-rules` catalogs the enforced contracts,
+//! `--json` emits a machine-readable report.
+
+use bugdoc_lint::{default_root, lint_source, lint_workspace, to_json, Report, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bugdoc-lint [--list-rules] [--json] [path ...]\n\
+    \n\
+    With no paths, lints every .rs file under the workspace root.\n\
+    Exits 0 when clean, 1 on findings, 2 on usage or I/O errors.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("bugdoc-lint: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    if list {
+        for rule in RULES {
+            println!("{}  {:24} {}", rule.id, rule.name, compact(rule.summary));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if paths.is_empty() {
+        let root = default_root();
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bugdoc-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = Report::default();
+        for path in &paths {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bugdoc-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = path.to_string_lossy().replace('\\', "/");
+            report.findings.extend(lint_source(&rel, &source));
+            report.files_scanned += 1;
+        }
+        report
+    };
+
+    if json {
+        print!("{}", to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{} {}:{}: {}", f.rule, f.path, f.line, f.message);
+        }
+        println!(
+            "bugdoc-lint: {} finding{} in {} file{} scanned",
+            report.findings.len(),
+            if report.findings.len() == 1 { "" } else { "s" },
+            report.files_scanned,
+            if report.files_scanned == 1 { "" } else { "s" },
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One-line summaries for the rule listing (the registry wraps them for
+/// rustdoc; the terminal wants them flat).
+fn compact(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

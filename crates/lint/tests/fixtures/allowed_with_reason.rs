@@ -1,0 +1,7 @@
+// A well-formed allow: the same W003 shape as l001_no_reason.rs, silenced
+// with a reviewable reason. Linting this under a hot-module path must
+// produce zero findings.
+pub fn head(words: &[u64], at: usize) -> u64 {
+    // lint: allow(W003, reason = "caller contract: at is always a word index the bitset handed out")
+    words[at]
+}

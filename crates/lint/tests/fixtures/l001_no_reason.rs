@@ -1,0 +1,6 @@
+// Deliberate L001 violation: an allow annotation with no reason — the
+// escape hatch must leave a reviewable trail.
+pub fn head(words: &[u64], at: usize) -> u64 {
+    // lint: allow(W003)
+    words[at]
+}

@@ -1,0 +1,10 @@
+// Deliberate W001 violation: a word-granularity u64 bit loop outside the
+// kernel homes. Real code must compose crates/core/src/kernels.rs instead.
+pub fn and_popcount_by_hand(words: &mut [u64], other: &[u64]) -> u32 {
+    let mut n = 0;
+    for (w, o) in words.iter_mut().zip(other) {
+        *w &= *o;
+        n += w.count_ones();
+    }
+    n
+}

@@ -1,0 +1,11 @@
+// The compliant twin of w002_fire.rs: the guard is dropped before the
+// blocking pipeline call, so no lock is held across the execution.
+impl NoStall {
+    pub fn evaluate_then_record(&self, instance: &Instance) -> Outcome {
+        let guard = self.provenance.write();
+        let seen = guard.len();
+        drop(guard);
+        let eval = self.pipeline.execute(instance);
+        self.record(seen, eval)
+    }
+}

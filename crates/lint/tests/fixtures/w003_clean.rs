@@ -1,0 +1,5 @@
+// The compliant twin of w003_fire.rs: fallible access via get(), with the
+// miss surfaced to the caller instead of panicking the hot path.
+pub fn first_outcome(runs: &[Run], idx: usize) -> Option<Outcome> {
+    runs.get(idx).map(|run| run.outcome)
+}

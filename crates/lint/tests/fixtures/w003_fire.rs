@@ -1,0 +1,7 @@
+// Deliberate W003 violations for a hot module: an unwrap and a non-literal
+// slice index, both of which can abort a diagnosis mid-run.
+pub fn first_outcome(runs: &[Run], idx: usize) -> Outcome {
+    let run = runs.first().unwrap();
+    let _ = run;
+    runs[idx].outcome
+}

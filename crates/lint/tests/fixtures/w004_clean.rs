@@ -1,0 +1,6 @@
+// The compliant twin of w004_fire.rs: the ordering choice is justified in
+// place, where the next reader will look for it.
+pub fn bump(counter: &AtomicU64) {
+    // Relaxed: telemetry-only counter, never read for control flow.
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+// Deliberate W004 violation: a loosest-ordering atomic update with no
+// justification comment anywhere near it.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,8 @@
+// The compliant twin of w005_fire.rs: the narrowing is checked and an
+// oversize payload becomes an explicit error.
+pub fn frame_len(payload: &[u8]) -> Result<u32, PersistError> {
+    u32::try_from(payload.len()).map_err(|_| PersistError::FrameOverflow {
+        field: "frame payload",
+        len: payload.len(),
+    })
+}

@@ -1,0 +1,5 @@
+// Deliberate W005 violation: a truncating `as u32` cast in the WAL codec,
+// which would silently corrupt an oversize frame instead of erroring.
+pub fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}

@@ -1,0 +1,5 @@
+// The compliant twin of w006_fire.rs: library code returns data and lets
+// the CLI decide how to present it.
+pub fn report(findings: usize) -> String {
+    format!("found {findings} findings")
+}

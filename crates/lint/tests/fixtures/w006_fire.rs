@@ -1,0 +1,5 @@
+// Deliberate W006 violation: printing from library code outside the CLI
+// crate and bin targets.
+pub fn report(findings: usize) {
+    println!("found {findings} findings");
+}

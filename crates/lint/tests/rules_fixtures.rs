@@ -1,0 +1,152 @@
+//! One firing and one clean fixture per rule, linted under pretend
+//! workspace-relative paths (the rules are path-scoped; the fixture files
+//! themselves live under `tests/fixtures/`, which the workspace walk and
+//! `test_path` both skip — these tests are the only thing that reads them).
+
+use bugdoc_lint::{lint_source, Finding};
+
+/// A hot-module path for W003 (panic + index facets) and W004.
+const HOT: &str = "crates/engine/src/executor.rs";
+/// A WAL-codec path for W005.
+const CODEC: &str = "crates/store/src/wal.rs";
+/// A plain library path: subject to W001/W002/W006, none of the scoped sets.
+const LIB: &str = "crates/core/src/search.rs";
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn w001_fires_on_word_loop_outside_kernels() {
+    let findings = lint_source(LIB, include_str!("fixtures/w001_fire.rs"));
+    assert!(rules_of(&findings).contains(&"W001"), "{findings:?}");
+}
+
+#[test]
+fn w001_clean_when_composed_from_kernels() {
+    let findings = lint_source(LIB, include_str!("fixtures/w001_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w001_word_loops_are_licensed_in_kernel_homes() {
+    let findings = lint_source(
+        "crates/core/src/kernels.rs",
+        include_str!("fixtures/w001_fire.rs"),
+    );
+    assert!(!rules_of(&findings).contains(&"W001"), "{findings:?}");
+}
+
+#[test]
+fn w002_fires_on_execute_under_live_guard() {
+    let findings = lint_source(LIB, include_str!("fixtures/w002_fire.rs"));
+    assert!(rules_of(&findings).contains(&"W002"), "{findings:?}");
+}
+
+#[test]
+fn w002_clean_when_guard_dropped_first() {
+    let findings = lint_source(LIB, include_str!("fixtures/w002_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w003_fires_on_unwrap_and_index_in_hot_module() {
+    let findings = lint_source(HOT, include_str!("fixtures/w003_fire.rs"));
+    let rules = rules_of(&findings);
+    assert!(
+        rules.iter().filter(|r| **r == "W003").count() >= 2,
+        "expected both the unwrap and the index to fire: {findings:?}"
+    );
+}
+
+#[test]
+fn w003_clean_with_fallible_access() {
+    let findings = lint_source(HOT, include_str!("fixtures/w003_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w003_does_not_apply_outside_hot_modules() {
+    let findings = lint_source(LIB, include_str!("fixtures/w003_fire.rs"));
+    assert!(!rules_of(&findings).contains(&"W003"), "{findings:?}");
+}
+
+#[test]
+fn w004_fires_on_unjustified_relaxed() {
+    let findings = lint_source(HOT, include_str!("fixtures/w004_fire.rs"));
+    assert!(rules_of(&findings).contains(&"W004"), "{findings:?}");
+}
+
+#[test]
+fn w004_clean_with_justification_comment() {
+    let findings = lint_source(HOT, include_str!("fixtures/w004_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w005_fires_on_as_cast_in_wal_codec() {
+    let findings = lint_source(CODEC, include_str!("fixtures/w005_fire.rs"));
+    assert!(rules_of(&findings).contains(&"W005"), "{findings:?}");
+}
+
+#[test]
+fn w005_clean_with_checked_cast() {
+    let findings = lint_source(CODEC, include_str!("fixtures/w005_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w005_does_not_apply_outside_the_codec() {
+    let findings = lint_source(LIB, include_str!("fixtures/w005_fire.rs"));
+    assert!(!rules_of(&findings).contains(&"W005"), "{findings:?}");
+}
+
+#[test]
+fn w006_fires_on_println_in_library_code() {
+    let findings = lint_source(LIB, include_str!("fixtures/w006_fire.rs"));
+    assert!(rules_of(&findings).contains(&"W006"), "{findings:?}");
+}
+
+#[test]
+fn w006_clean_when_returning_data() {
+    let findings = lint_source(LIB, include_str!("fixtures/w006_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w006_printing_is_licensed_in_the_cli() {
+    let findings = lint_source(
+        "crates/cli/src/report.rs",
+        include_str!("fixtures/w006_fire.rs"),
+    );
+    assert!(!rules_of(&findings).contains(&"W006"), "{findings:?}");
+}
+
+#[test]
+fn l001_fires_on_allow_without_reason() {
+    let findings = lint_source(HOT, include_str!("fixtures/l001_no_reason.rs"));
+    assert!(rules_of(&findings).contains(&"L001"), "{findings:?}");
+}
+
+#[test]
+fn l001_fires_on_unknown_rule_in_allow() {
+    let src = "// lint: allow(W999, reason = \"no such rule\")\npub fn f() {}\n";
+    let findings = lint_source(LIB, src);
+    assert!(rules_of(&findings).contains(&"L001"), "{findings:?}");
+}
+
+#[test]
+fn allow_with_reason_silences_the_site() {
+    let findings = lint_source(HOT, include_str!("fixtures/allowed_with_reason.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn registry_lists_at_least_six_workspace_rules() {
+    let w_rules = bugdoc_lint::RULES
+        .iter()
+        .filter(|r| r.id.starts_with('W'))
+        .count();
+    assert!(w_rules >= 6, "only {w_rules} W-rules registered");
+    assert!(bugdoc_lint::known_rule("L001"));
+}

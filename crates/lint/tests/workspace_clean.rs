@@ -1,0 +1,28 @@
+//! The whole workspace must lint clean: every violation of W001–W006 is
+//! either fixed or carries an allow with a reviewable reason. This is the
+//! same scan `cargo run -p bugdoc-lint` performs, run under `cargo test` so
+//! the invariants gate the test suite too.
+
+use bugdoc_lint::{default_root, lint_workspace};
+
+#[test]
+fn workspace_lints_clean() {
+    let root = default_root();
+    let report = lint_workspace(&root).expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root {}?",
+        report.files_scanned,
+        root.display()
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{} {}:{}: {}", f.rule, f.path, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -22,9 +22,9 @@ const TABLES: [[u32; 256]; 8] = build_tables();
 
 const fn build_tables() -> [[u32; 256]; 8] {
     let mut tables = [[0u32; 256]; 8];
-    let mut i = 0;
+    let mut i: u32 = 0;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = i;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 {
@@ -34,7 +34,7 @@ const fn build_tables() -> [[u32; 256]; 8] {
             };
             bit += 1;
         }
-        tables[0][i] = crc;
+        tables[0][i as usize] = crc;
         i += 1;
     }
     let mut k = 1;
@@ -58,7 +58,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         // The current CRC folds into the first four input bytes (reflected
         // CRC over little-endian words); the u64 load keeps the eight table
         // lookups independent of each other.
-        let x = u64::from_le_bytes(chunk.try_into().unwrap()) ^ crc as u64;
+        let x = u64::from_le_bytes(chunk.try_into().unwrap()) ^ u64::from(crc);
         crc = TABLES[7][(x & 0xFF) as usize]
             ^ TABLES[6][((x >> 8) & 0xFF) as usize]
             ^ TABLES[5][((x >> 16) & 0xFF) as usize]
@@ -69,7 +69,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             ^ TABLES[0][(x >> 56) as usize];
     }
     for &b in chunks.remainder() {
-        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     crc ^ 0xFFFF_FFFF
 }

@@ -5,6 +5,7 @@
 //! header. See the crate docs for the full byte layout.
 
 use crate::crc32::crc32;
+use crate::PersistError;
 use bugdoc_core::{EvalResult, Instance, Outcome, ParamSpace, Run, Value};
 
 /// Upper bound on a frame payload. Real records are tens of bytes; anything
@@ -147,11 +148,19 @@ impl RunRecord {
     }
 
     /// Appends the record's payload bytes (no frame header) to `out`.
-    pub fn encode_payload(&self, out: &mut Vec<u8>) {
+    /// Fails with [`PersistError::FrameOverflow`] — leaving partial bytes in
+    /// `out`, which the caller must discard — when a length field does not
+    /// fit the format's `u32`: a truncated length would write a frame that
+    /// decodes to a *different* record or that replay refuses.
+    pub fn encode_payload(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
         let (kind, count) = match &self.key {
             RecordKey::Dense(k) => (0u8, k.len()),
             RecordKey::Raw(v) => (1u8, v.len()),
         };
+        let count: u32 = count.try_into().map_err(|_| PersistError::FrameOverflow {
+            field: "parameter count",
+            len: count,
+        })?;
         out.push(kind);
         out.push(match self.outcome {
             Outcome::Succeed => 0,
@@ -164,7 +173,7 @@ impl RunRecord {
                 out.extend_from_slice(&s.to_bits().to_le_bytes());
             }
         }
-        out.extend_from_slice(&(count as u32).to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
         match &self.key {
             RecordKey::Dense(key) => {
                 for &idx in key.iter() {
@@ -173,10 +182,11 @@ impl RunRecord {
             }
             RecordKey::Raw(values) => {
                 for v in values {
-                    encode_value(v, out);
+                    encode_value(v, out)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Decodes a payload produced by [`RunRecord::encode_payload`]. The
@@ -222,7 +232,7 @@ impl RunRecord {
     }
 }
 
-fn encode_value(v: &Value, out: &mut Vec<u8>) {
+fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<(), PersistError> {
     match v {
         Value::Bool(b) => {
             out.push(0);
@@ -237,11 +247,16 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.extend_from_slice(&x.get().to_bits().to_le_bytes());
         }
         Value::Str(s) => {
+            let len: u32 = s.len().try_into().map_err(|_| PersistError::FrameOverflow {
+                field: "string value length",
+                len: s.len(),
+            })?;
             out.push(3);
-            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
             out.extend_from_slice(s.as_bytes());
         }
     }
+    Ok(())
 }
 
 /// Below this many records, batched recovery decodes on the calling thread:
@@ -260,6 +275,7 @@ pub(crate) fn materialize_validated(
 ) -> Vec<Run> {
     let decode = |r: &RunRecord| {
         r.to_run(space)
+            // lint: allow(W003, reason = "caller contract: every record passed fits()-validation against this same space, so the Domain error is unreachable")
             .expect("record validated against this space before batch decode")
     };
     if workers <= 1 || records.len() < PARALLEL_DECODE_MIN_RECORDS {
@@ -273,6 +289,7 @@ pub(crate) fn materialize_validated(
             .map(|chunk| scope.spawn(move || chunk.iter().map(decode).collect::<Vec<_>>()))
             .collect();
         for handle in handles {
+            // lint: allow(W003, reason = "join() fails only if the worker panicked; re-raising that panic on the coordinating thread is the intended propagation")
             runs.extend(handle.join().expect("decode worker panicked"));
         }
     });
@@ -313,36 +330,78 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(DecodeError::Truncated);
-        }
-        let out = &self.buf[self.pos..end];
+        let out = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
         self.pos = end;
         Ok(out)
     }
 
+    /// `N` bytes as a fixed array; the narrowing `try_into` cannot fail
+    /// (`bytes(N)` returned exactly `N` bytes) but is mapped rather than
+    /// unwrapped — the decode path must be panic-free on arbitrary input.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        self.bytes(N)?.try_into().map_err(|_| DecodeError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.bytes(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 }
 
+/// Reads a little-endian `u32` at `at`, `None` when out of bounds.
+#[inline]
+pub(crate) fn read_u32_at(bytes: &[u8], at: usize) -> Option<u32> {
+    let b = bytes.get(at..at.checked_add(4)?)?;
+    Some(u32::from_le_bytes(b.try_into().ok()?))
+}
+
+/// Reads a little-endian `u64` at `at`, `None` when out of bounds.
+#[inline]
+pub(crate) fn read_u64_at(bytes: &[u8], at: usize) -> Option<u64> {
+    let b = bytes.get(at..at.checked_add(8)?)?;
+    Some(u64::from_le_bytes(b.try_into().ok()?))
+}
+
 /// Appends one full frame (header + payload) for `record` to `out`.
-pub fn append_frame(record: &RunRecord, out: &mut Vec<u8>) {
+/// Fails — restoring `out` to its incoming length — when the record cannot
+/// be framed within the codec's bounds: a length field past `u32`, or a
+/// payload past [`MAX_FRAME_BYTES`] (which replay reads as corruption, so
+/// writing it would persist a frame recovery refuses).
+pub fn append_frame(record: &RunRecord, out: &mut Vec<u8>) -> Result<(), PersistError> {
     let start = out.len();
     out.extend_from_slice(&[0u8; FRAME_HEADER_BYTES]);
-    record.encode_payload(out);
+    if let Err(e) = record.encode_payload(out) {
+        out.truncate(start);
+        return Err(e);
+    }
     let payload_len = out.len() - start - FRAME_HEADER_BYTES;
-    let crc = crc32(&out[start + FRAME_HEADER_BYTES..]);
-    out[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
-    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    let len: u32 = match payload_len.try_into() {
+        Ok(n) if payload_len <= MAX_FRAME_BYTES => n,
+        _ => {
+            out.truncate(start);
+            return Err(PersistError::FrameOverflow {
+                field: "frame payload",
+                len: payload_len,
+            });
+        }
+    };
+    // Backpatch the header reserved above, now that the payload bytes (and
+    // their CRC) exist. The spans are in bounds by construction: `start + 8
+    // <= out.len()` since the reservation, and nothing shrank `out`.
+    // lint: allow(W003, reason = "header backpatch into the 8 bytes reserved at the top of this function; spans are in bounds by construction", scope = "block")
+    {
+        let crc = crc32(&out[start + FRAME_HEADER_BYTES..]);
+        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    }
+    Ok(())
 }
 
 /// The result of pulling one frame off a byte stream.
@@ -363,24 +422,25 @@ pub fn next_frame(bytes: &[u8], offset: usize) -> NextFrame {
     if offset == bytes.len() {
         return NextFrame::End;
     }
-    if offset + FRAME_HEADER_BYTES > bytes.len() {
+    let (Some(len), Some(crc)) = (
+        read_u32_at(bytes, offset),
+        read_u32_at(bytes, offset + 4),
+    ) else {
         return NextFrame::Torn;
-    }
-    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+    };
+    let len = len as usize;
     if len > MAX_FRAME_BYTES {
         return NextFrame::Torn;
     }
     let start = offset + FRAME_HEADER_BYTES;
-    let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+    let Some(payload) = start.checked_add(len).and_then(|end| bytes.get(start..end)) else {
         return NextFrame::Torn;
     };
-    let payload = &bytes[start..end];
     if crc32(payload) != crc {
         return NextFrame::Torn;
     }
     match RunRecord::decode_payload(payload) {
-        Ok(record) => NextFrame::Frame(record, end),
+        Ok(record) => NextFrame::Frame(record, start + len),
         Err(_) => NextFrame::Torn,
     }
 }
@@ -399,7 +459,7 @@ mod tests {
 
     fn roundtrip(record: &RunRecord) -> RunRecord {
         let mut bytes = Vec::new();
-        append_frame(record, &mut bytes);
+        append_frame(record, &mut bytes).unwrap();
         match next_frame(&bytes, 0) {
             NextFrame::Frame(got, end) => {
                 assert_eq!(end, bytes.len());
@@ -485,7 +545,7 @@ mod tests {
             score: Some(0.5),
         };
         let mut bytes = Vec::new();
-        append_frame(&r, &mut bytes);
+        append_frame(&r, &mut bytes).unwrap();
         // Flip every byte in turn: the frame must never decode to a
         // *different* record without tripping the CRC.
         for i in 0..bytes.len() {
@@ -507,6 +567,25 @@ mod tests {
     }
 
     #[test]
+    fn oversized_record_is_an_error_not_a_torn_frame() {
+        // A payload past MAX_FRAME_BYTES must fail the append (replay would
+        // read it as corruption), and the output buffer must be restored.
+        let r = RunRecord {
+            key: RecordKey::Raw(vec![Value::str(&"x".repeat(MAX_FRAME_BYTES + 1))]),
+            outcome: Outcome::Fail,
+            score: None,
+        };
+        let mut bytes = vec![0xAA; 3];
+        let err = append_frame(&r, &mut bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::FrameOverflow { field: "frame payload", .. }
+        ));
+        assert!(err.to_string().contains("cannot be framed"));
+        assert_eq!(bytes, vec![0xAA; 3], "failed append left partial bytes");
+    }
+
+    #[test]
     fn trailing_payload_bytes_rejected() {
         let r = RunRecord {
             key: RecordKey::Raw(vec![Value::from(1)]),
@@ -514,7 +593,7 @@ mod tests {
             score: None,
         };
         let mut payload = Vec::new();
-        r.encode_payload(&mut payload);
+        r.encode_payload(&mut payload).unwrap();
         payload.push(0);
         assert_eq!(
             RunRecord::decode_payload(&payload).unwrap_err(),

@@ -168,6 +168,17 @@ pub enum PersistError {
         /// The persist directory.
         dir: PathBuf,
     },
+    /// A record field exceeds the frame format's `u32` bounds or the frame
+    /// exceeds [`frame::MAX_FRAME_BYTES`] (a pathological instance: billions
+    /// of parameters or a multi-gigabyte string value). Writing it anyway
+    /// would emit a frame replay refuses — silently truncated lengths
+    /// corrupt the log — so the append fails instead.
+    FrameOverflow {
+        /// Which length overflowed.
+        field: &'static str,
+        /// The oversized length.
+        len: usize,
+    },
     /// Another live process (or another executor in this process) holds the
     /// persist directory. Concurrent appenders would interleave frames and
     /// corrupt the run-order invariant, so opening refuses.
@@ -177,6 +188,14 @@ pub enum PersistError {
         /// The lock file.
         path: PathBuf,
     },
+}
+
+/// Widens a `usize` to `u64`. Lossless on every supported target; named so
+/// the WAL codec needs no raw `as` casts (the checked-cast lint W005 bans
+/// them there — a truncating cast and a widening one look identical at the
+/// cast site).
+pub(crate) fn u64_of(n: usize) -> u64 {
+    n as u64
 }
 
 impl PersistError {
@@ -216,6 +235,11 @@ impl std::fmt::Display for PersistError {
                  the directory lost mid-log history and cannot be recovered as an exact \
                  prefix — restore the missing segment or start a fresh directory",
                 dir.display()
+            ),
+            PersistError::FrameOverflow { field, len } => write!(
+                f,
+                "record cannot be framed: {field} is {len} bytes, past the codec's u32/frame \
+                 bounds — persisting it would write a frame recovery refuses to read"
             ),
             PersistError::Locked { pid, path } => write!(
                 f,

@@ -88,7 +88,7 @@ pub fn write_snapshot(
     wal_position: WalPosition,
 ) -> Result<(), PersistError> {
     let runs = store.len() as u64;
-    let bytes = snapshot_bytes(digest, store, wal_position);
+    let bytes = snapshot_bytes(digest, store, wal_position)?;
 
     let tmp = dir.join(format!("{}.tmp", snapshot_name(runs)));
     let fin = dir.join(snapshot_name(runs));
@@ -111,7 +111,13 @@ pub fn write_snapshot(
 /// The serialized image `write_snapshot` persists: checksummed header plus
 /// one frame per run. Public so the perf bench can time serialization
 /// without the fsync+rename tail (fsync latency is environment noise).
-pub fn snapshot_bytes(digest: u64, store: &ProvenanceStore, wal_position: WalPosition) -> Vec<u8> {
+/// Fails only when a run cannot be framed within the codec's bounds
+/// ([`PersistError::FrameOverflow`]).
+pub fn snapshot_bytes(
+    digest: u64,
+    store: &ProvenanceStore,
+    wal_position: WalPosition,
+) -> Result<Vec<u8>, PersistError> {
     let runs = store.len() as u64;
     let mut bytes = Vec::with_capacity(SNAP_HEADER_BYTES + store.len() * 32);
     bytes.extend_from_slice(SNAP_MAGIC);
@@ -129,9 +135,9 @@ pub fn snapshot_bytes(digest: u64, store: &ProvenanceStore, wal_position: WalPos
     let space = store.space();
     for run in store.runs() {
         let record = RunRecord::from_run(run, space);
-        append_frame(&record, &mut bytes);
+        append_frame(&record, &mut bytes)?;
     }
-    bytes
+    Ok(bytes)
 }
 
 /// Loads the newest intact snapshot, trying older ones when the newest is

@@ -10,8 +10,10 @@
 //! of the *last* segment.
 
 use crate::crc32::crc32;
-use crate::frame::{append_frame, RunRecord, FRAME_HEADER_BYTES, MAX_FRAME_BYTES};
-use crate::{PersistError, WAL_MAGIC, WAL_HEADER_BYTES};
+use crate::frame::{
+    append_frame, read_u32_at, read_u64_at, RunRecord, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
+use crate::{u64_of, PersistError, WAL_MAGIC, WAL_HEADER_BYTES};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -44,8 +46,9 @@ pub(crate) fn list_segments(dir: &Path) -> Result<Vec<u64>, PersistError> {
 
 fn segment_header(digest: u64) -> [u8; WAL_HEADER_BYTES] {
     let mut h = [0u8; WAL_HEADER_BYTES];
-    h[..8].copy_from_slice(WAL_MAGIC);
-    h[8..].copy_from_slice(&digest.to_le_bytes());
+    let (magic, dig) = h.split_at_mut(WAL_MAGIC.len());
+    magic.copy_from_slice(WAL_MAGIC);
+    dig.copy_from_slice(&digest.to_le_bytes());
     h
 }
 
@@ -95,13 +98,13 @@ impl Wal {
         if create || seg_len == 0 {
             file.write_all(&segment_header(digest))
                 .map_err(|e| PersistError::io(&path, e))?;
-            seg_len = WAL_HEADER_BYTES as u64;
+            seg_len = u64_of(WAL_HEADER_BYTES);
             crate::snapshot::fsync_dir(dir)?;
         }
         Ok(Wal {
             dir: dir.to_path_buf(),
             digest,
-            segment_bytes: segment_bytes.max(WAL_HEADER_BYTES as u64 + 1),
+            segment_bytes: segment_bytes.max(u64_of(WAL_HEADER_BYTES) + 1),
             seg_index,
             seg_len,
             file,
@@ -121,9 +124,9 @@ impl Wal {
     /// first when the current one is at its byte size.
     pub fn append(&mut self, record: &RunRecord) -> Result<(), PersistError> {
         self.buf.clear();
-        append_frame(record, &mut self.buf);
-        if self.seg_len > WAL_HEADER_BYTES as u64
-            && self.seg_len + self.buf.len() as u64 > self.segment_bytes
+        append_frame(record, &mut self.buf)?;
+        if self.seg_len > u64_of(WAL_HEADER_BYTES)
+            && self.seg_len + u64_of(self.buf.len()) > self.segment_bytes
         {
             self.roll()?;
         }
@@ -131,7 +134,7 @@ impl Wal {
         self.file
             .write_all(&self.buf)
             .map_err(|e| PersistError::io(&path, e))?;
-        self.seg_len += self.buf.len() as u64;
+        self.seg_len += u64_of(self.buf.len());
         Ok(())
     }
 
@@ -156,7 +159,7 @@ impl Wal {
         // survive out of order, or recovery would see a gap.
         crate::snapshot::fsync_dir(&self.dir)?;
         self.file = file;
-        self.seg_len = WAL_HEADER_BYTES as u64;
+        self.seg_len = u64_of(WAL_HEADER_BYTES);
         Ok(())
     }
 
@@ -183,7 +186,7 @@ fn frame_span(bytes: &[u8], offset: usize) -> Result<(usize, usize), ()> {
     if offset + FRAME_HEADER_BYTES > bytes.len() {
         return Err(());
     }
-    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+    let len = read_u32_at(bytes, offset).ok_or(())? as usize;
     if len > MAX_FRAME_BYTES {
         return Err(());
     }
@@ -198,9 +201,8 @@ fn frame_span(bytes: &[u8], offset: usize) -> Result<(usize, usize), ()> {
 /// is corrupt (bad CRC or undecodable payload).
 #[inline]
 fn decode_frame(bytes: &[u8], payload_start: usize, end: usize) -> Option<RunRecord> {
-    let payload = &bytes[payload_start..end];
-    let crc =
-        u32::from_le_bytes(bytes[payload_start - 4..payload_start].try_into().unwrap());
+    let payload = bytes.get(payload_start..end)?;
+    let crc = read_u32_at(bytes, payload_start.checked_sub(4)?)?;
     if crc32(payload) != crc {
         return None;
     }
@@ -293,6 +295,7 @@ fn scan_segment(
             .map(|chunk| scope.spawn(move || chunk.iter().map(decode).collect::<Vec<_>>()))
             .collect();
         for handle in handles {
+            // lint: allow(W003, reason = "join() fails only if the worker panicked; re-raising that panic on the coordinating thread is the intended propagation")
             decoded.extend(handle.join().expect("frame decode worker panicked"));
         }
     });
@@ -382,11 +385,15 @@ pub fn replay_with_workers(
         // Header check: a short or mangled header reads as a torn segment
         // (crash during creation); a *valid* header with a different digest
         // is a spec mismatch and aborts recovery without destroying data.
-        if bytes.len() < WAL_HEADER_BYTES || bytes[..8] != *WAL_MAGIC {
+        let header_digest = if bytes.starts_with(WAL_MAGIC) {
+            read_u64_at(&bytes, WAL_MAGIC.len()).filter(|_| bytes.len() >= WAL_HEADER_BYTES)
+        } else {
+            None
+        };
+        let Some(found) = header_digest else {
             torn_at = Some((si, 0));
             break 'segments;
-        }
-        let found = u64::from_le_bytes(bytes[8..WAL_HEADER_BYTES].try_into().unwrap());
+        };
         if found != digest {
             return Err(PersistError::SpaceMismatch {
                 expected: digest,
@@ -400,7 +407,7 @@ pub fn replay_with_workers(
                 if p.offset as usize > bytes.len() {
                     // The snapshot claims coverage past this segment's end —
                     // the tail it covered is gone. Nothing newer to replay.
-                    torn_at = Some((si, bytes.len() as u64));
+                    torn_at = Some((si, u64_of(bytes.len())));
                     break 'segments;
                 }
                 offset = (p.offset as usize).max(WAL_HEADER_BYTES);
@@ -411,35 +418,31 @@ pub fn replay_with_workers(
         match stop {
             None => continue 'segments,
             Some(stop) => {
-                torn_at = Some((si, stop as u64));
+                torn_at = Some((si, u64_of(stop)));
                 break 'segments;
             }
         }
     }
     if let Some((si, offset)) = torn_at {
-        // Truncate the damaged segment to its last valid frame boundary and
-        // drop every later segment wholesale.
-        let path = dir.join(segment_name(segments[si]));
-        let len = std::fs::metadata(&path)
-            .map_err(|e| PersistError::io(&path, e))?
-            .len();
-        summary.truncated_bytes += len.saturating_sub(offset);
-        if offset == 0 {
-            std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
-        } else {
-            let file = OpenOptions::new()
-                .write(true)
-                .open(&path)
-                .map_err(|e| PersistError::io(&path, e))?;
-            file.set_len(offset).map_err(|e| PersistError::io(&path, e))?;
-        }
-        for &idx in &segments[si + 1..] {
+        // Truncate the damaged segment to its last valid frame boundary
+        // (drop it wholesale when even its header is bad) and drop every
+        // later segment wholesale.
+        for (pos, &idx) in segments.iter().enumerate().skip(si) {
             let path = dir.join(segment_name(idx));
             let len = std::fs::metadata(&path)
                 .map_err(|e| PersistError::io(&path, e))?
                 .len();
-            summary.truncated_bytes += len;
-            std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+            let keep = if pos == si { offset } else { 0 };
+            summary.truncated_bytes += len.saturating_sub(keep);
+            if keep == 0 {
+                std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+            } else {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| PersistError::io(&path, e))?;
+                file.set_len(keep).map_err(|e| PersistError::io(&path, e))?;
+            }
         }
     }
     Ok(summary)
