@@ -154,7 +154,7 @@ pub fn debugging_decision_trees(
         // Every probe failed too: the whole explored space fails.
         return Ok(DdtReport {
             causes: Dnf::new(vec![Conjunction::top()]),
-            new_executions: exec.stats().new_executions - start_execs,
+            new_executions: exec.stats().new_executions.saturating_sub(start_execs),
             rebuilds: 0,
             complete,
         });
@@ -263,7 +263,7 @@ pub fn debugging_decision_trees(
     }
     Ok(DdtReport {
         causes,
-        new_executions: exec.stats().new_executions - start_execs,
+        new_executions: exec.stats().new_executions.saturating_sub(start_execs),
         rebuilds,
         complete,
     })

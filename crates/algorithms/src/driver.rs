@@ -50,6 +50,32 @@ impl Default for BugDocConfig {
     }
 }
 
+impl BugDocConfig {
+    /// The configuration every BugDoc front end uses — the one-shot CLI and
+    /// `bugdoc serve` sessions alike. Keeping the knobs in one constructor
+    /// is what makes a served diagnosis bit-identical to a one-shot run over
+    /// the same history: both drive `diagnose` with exactly these settings.
+    pub fn front_end(strategy: Strategy, mode: DdtMode, seed: u64) -> Self {
+        BugDocConfig {
+            strategy,
+            mode,
+            stacked: StackedConfig {
+                seed,
+                ..StackedConfig::default()
+            },
+            ddt: DdtConfig {
+                mode,
+                seed,
+                // A front end may start from an empty history: probe harder
+                // so rare failure regions are still discovered.
+                enrich_initial: 32,
+                exploration_rounds: 3,
+                ..DdtConfig::default()
+            },
+        }
+    }
+}
+
 /// A combined diagnosis.
 #[derive(Debug, Clone)]
 pub struct Diagnosis {
@@ -63,10 +89,33 @@ pub struct Diagnosis {
     pub new_executions: usize,
 }
 
+impl Diagnosis {
+    /// Renders the cause section of a diagnosis report — the lines every
+    /// BugDoc front end (one-shot CLI, `bugdoc serve` sessions) prints, kept
+    /// in one place so a served diagnosis is bit-identical to a one-shot
+    /// one by construction.
+    pub fn render_causes(&self, space: &bugdoc_core::ParamSpace) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.causes.is_empty() {
+            let _ = writeln!(out, "no definitive root cause asserted");
+        } else {
+            let _ = writeln!(out, "minimal definitive root cause(s):");
+            for cause in self.causes.conjuncts() {
+                let _ = writeln!(out, "  {}", cause.display(space));
+            }
+        }
+        out
+    }
+}
+
 /// Runs the configured BugDoc strategy against the executor's history.
 pub fn diagnose(exec: &Executor, config: &BugDocConfig) -> Result<Diagnosis, AlgoError> {
     let space = exec.space();
     let start = exec.stats().new_executions;
+    // Saturating: under concurrent sessions another worker's transient
+    // reclassify-as-hit can momentarily dip the shared counter below the
+    // snapshot taken at `start`.
     let mut collected: Vec<Conjunction> = Vec::new();
 
     let mut stacked_cause = None;
@@ -123,7 +172,7 @@ pub fn diagnose(exec: &Executor, config: &BugDocConfig) -> Result<Diagnosis, Alg
         causes,
         stacked_cause,
         ddt_causes,
-        new_executions: exec.stats().new_executions - start,
+        new_executions: exec.stats().new_executions.saturating_sub(start),
     })
 }
 

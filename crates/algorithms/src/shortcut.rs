@@ -121,7 +121,7 @@ pub fn shortcut(
 
     Ok(ShortcutReport {
         cause: if refuted { None } else { Some(cause) },
-        new_executions: exec.stats().new_executions - start_execs,
+        new_executions: exec.stats().new_executions.saturating_sub(start_execs),
         complete,
     })
 }
@@ -229,7 +229,7 @@ pub fn shortcut_speculative(
 
     Ok(ShortcutReport {
         cause: if refuted { None } else { Some(cause) },
-        new_executions: exec.stats().new_executions - start_execs,
+        new_executions: exec.stats().new_executions.saturating_sub(start_execs),
         complete,
     })
 }

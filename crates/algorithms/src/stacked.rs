@@ -154,7 +154,7 @@ pub fn stacked_shortcut_from(
     Ok(StackedReport {
         cause,
         goods_used: goods.len(),
-        new_executions: exec.stats().new_executions - start_execs,
+        new_executions: exec.stats().new_executions.saturating_sub(start_execs),
     })
 }
 

@@ -12,13 +12,20 @@
 //!                 [--seed N] [--save-provenance out.tsv]
 //! bugdoc explain  --spec pipeline.spec --provenance runs.tsv
 //!                 [--method dataxray|exptables]     # analysis only, no runs
+//! bugdoc serve    --socket PATH         # long-lived diagnosis daemon
+//! bugdoc connect  --socket PATH --spec pipeline.spec
+//!                 [--algorithm ...] [--mode ...] [--seed N] [--reserve N]
 //! ```
+//!
+//! `serve` hosts concurrent diagnosis sessions over one shared executor per
+//! spec (see the `bugdoc-serve` crate and `docs/SERVING.md`); `connect`
+//! runs one diagnosis against a daemon — same report, shared executions.
 
 #![warn(missing_docs)]
 
 pub mod spec;
 
-use bugdoc_algorithms::{diagnose, BugDocConfig, DdtConfig, DdtMode, StackedConfig, Strategy};
+use bugdoc_algorithms::{diagnose, BugDocConfig, DdtMode, Strategy};
 use bugdoc_baselines::{dataxray, exptables};
 use bugdoc_core::ProvenanceStore;
 use bugdoc_engine::{CommandPipeline, Executor, ExecutorConfig, Pipeline};
@@ -53,6 +60,27 @@ pub enum Request {
         /// `dataxray` or `exptables`.
         method: String,
     },
+    /// Run the diagnosis service daemon until `SIGTERM` (or a client's
+    /// `SHUTDOWN`).
+    Serve {
+        /// Unix-domain-socket path to listen on.
+        socket: String,
+    },
+    /// Run one diagnosis as a session against a `serve` daemon.
+    Connect {
+        /// Unix-domain-socket path of the daemon.
+        socket: String,
+        /// Spec file path (sent to the daemon verbatim).
+        spec: String,
+        /// Algorithm selection.
+        strategy: Strategy,
+        /// FindOne or FindAll.
+        mode: DdtMode,
+        /// RNG seed.
+        seed: u64,
+        /// Executions to reserve from the daemon's shared budget (0: none).
+        reserve: usize,
+    },
     /// Print usage.
     Help,
 }
@@ -65,6 +93,9 @@ USAGE:
   bugdoc diagnose --spec FILE [--provenance FILE] [--algorithm combined|stacked|ddt]
                   [--mode one|all] [--seed N] [--save-provenance FILE]
   bugdoc explain  --spec FILE --provenance FILE [--method dataxray|exptables]
+  bugdoc serve    --socket PATH
+  bugdoc connect  --socket PATH --spec FILE [--algorithm combined|stacked|ddt]
+                  [--mode one|all] [--seed N] [--reserve N]
   bugdoc help
 
 The spec file declares parameters, the command template, and the evaluation:
@@ -92,6 +123,8 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
     let mut seed = 0u64;
     let mut save_provenance = None;
     let mut method = "dataxray".to_string();
+    let mut socket = None;
+    let mut reserve = 0usize;
 
     let mut i = 1;
     while i < args.len() {
@@ -127,6 +160,12 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
                 }
             }
             "--method" => method = value(&mut i)?,
+            "--socket" => socket = Some(value(&mut i)?),
+            "--reserve" => {
+                reserve = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--reserve needs an integer".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -147,8 +186,76 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
             provenance: provenance.ok_or("explain needs --provenance")?,
             method,
         }),
+        "serve" => Ok(Request::Serve {
+            socket: socket.ok_or("serve needs --socket")?,
+        }),
+        "connect" => Ok(Request::Connect {
+            socket: socket.ok_or("connect needs --socket")?,
+            spec: spec.ok_or("connect needs --spec")?,
+            strategy,
+            mode,
+            seed,
+            reserve,
+        }),
         other => Err(format!("unknown command {other:?} (try `bugdoc help`)")),
     }
+}
+
+/// Builds an executor from raw spec text — the factory `bugdoc serve`
+/// injects into its session manager. It is the exact parse + build path the
+/// one-shot `diagnose` command uses, which is one half of why a served
+/// diagnosis is bit-identical to a one-shot run (the other half being
+/// `BugDocConfig::front_end`). Specs with `persist_dir` give the daemon a
+/// durable shared store: the first session warm-starts it, `SIGTERM`
+/// snapshots and releases it.
+pub fn executor_factory() -> Box<bugdoc_serve::ExecutorFactory> {
+    Box::new(|text: &str| {
+        let spec = spec::parse_spec(text).map_err(|e| e.to_string())?;
+        let pipeline = CommandPipeline::new(
+            spec.space.clone(),
+            spec.command.clone(),
+            spec.eval.clone(),
+        );
+        Executor::try_with_provenance(
+            Arc::new(pipeline) as Arc<dyn Pipeline>,
+            ExecutorConfig {
+                workers: spec.workers,
+                budget: spec.budget,
+                memory: spec.memory,
+                persist: spec.persist.clone(),
+                bounds: spec.bounds,
+            },
+            ProvenanceStore::new(spec.space.clone()),
+        )
+        .map_err(|e| e.to_string())
+    })
+}
+
+/// The daemon's shutdown flag, flipped by `SIGTERM`/`SIGINT`.
+static TERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn note_term(_signum: i32) {
+    // Only an atomic store: everything else (draining handlers, snapshotting
+    // durable stores, releasing locks) happens on the daemon thread once it
+    // observes the flag.
+    TERM.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Routes `SIGTERM` and `SIGINT` to the daemon's shutdown flag and returns
+/// the flag. Uses the raw libc `signal` entry point: the store above is
+/// async-signal-safe, and the workspace builds offline without a signal
+/// crate.
+fn install_term_handler() -> &'static std::sync::atomic::AtomicBool {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, note_term as extern "C" fn(i32) as usize);
+        signal(SIGINT, note_term as extern "C" fn(i32) as usize);
+    }
+    &TERM
 }
 
 fn load_spec(path: &str) -> Result<Spec, String> {
@@ -202,34 +309,10 @@ pub fn run(request: Request) -> Result<String, String> {
                 prov,
             )
             .map_err(|e| e.to_string())?;
-            let config = BugDocConfig {
-                strategy,
-                mode,
-                stacked: StackedConfig {
-                    seed,
-                    ..StackedConfig::default()
-                },
-                ddt: DdtConfig {
-                    mode,
-                    seed,
-                    // The CLI may start from an empty history: probe harder
-                    // so rare failure regions are still discovered.
-                    enrich_initial: 32,
-                    exploration_rounds: 3,
-                    ..DdtConfig::default()
-                },
-            };
+            let config = BugDocConfig::front_end(strategy, mode, seed);
             let diagnosis = diagnose(&exec, &config).map_err(|e| e.to_string())?;
 
-            let mut out = String::new();
-            if diagnosis.causes.is_empty() {
-                let _ = writeln!(out, "no definitive root cause asserted");
-            } else {
-                let _ = writeln!(out, "minimal definitive root cause(s):");
-                for cause in diagnosis.causes.conjuncts() {
-                    let _ = writeln!(out, "  {}", cause.display(&spec.space));
-                }
-            }
+            let mut out = diagnosis.render_causes(&spec.space);
             let stats = exec.stats();
             let _ = writeln!(
                 out,
@@ -265,8 +348,9 @@ pub fn run(request: Request) -> Result<String, String> {
                     stats.bounds_fallthroughs
                 );
             }
-            if let Some(recovery) = exec.recovery() {
-                let persist = spec.persist.as_ref().expect("recovery implies persistence");
+            // Recovery exists only when the spec asked for persistence, so
+            // destructuring both (rather than expecting) stays panic-free.
+            if let (Some(recovery), Some(persist)) = (exec.recovery(), spec.persist.as_ref()) {
                 let _ = writeln!(
                     out,
                     "durable provenance: {} runs warm-started from {} \
@@ -287,6 +371,65 @@ pub fn run(request: Request) -> Result<String, String> {
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 let _ = writeln!(out, "provenance written to {path}");
             }
+            Ok(out)
+        }
+        Request::Serve { socket } => {
+            // A socket file left by a dead daemon would fail the bind; the
+            // durable stores' own directory locks are what protect against
+            // a *live* daemon on the same pipelines.
+            let _ = std::fs::remove_file(&socket);
+            let listener = std::os::unix::net::UnixListener::bind(&socket)
+                .map_err(|e| format!("cannot bind {socket}: {e}"))?;
+            let manager = Arc::new(bugdoc_serve::SessionManager::new(executor_factory()));
+            let daemon = bugdoc_serve::Daemon::over(listener, manager);
+            let summary = daemon.run(install_term_handler())?;
+            let _ = std::fs::remove_file(&socket);
+            Ok(format!(
+                "bugdoc serve: {} connection(s) served, {} durable store(s) closed\n",
+                summary.connections, summary.executors_closed
+            ))
+        }
+        Request::Connect {
+            socket,
+            spec,
+            strategy,
+            mode,
+            seed,
+            reserve,
+        } => {
+            let text = std::fs::read_to_string(&spec)
+                .map_err(|e| format!("cannot read {spec}: {e}"))?;
+            let mut client = bugdoc_serve::Client::connect(std::path::Path::new(&socket))?;
+            let id = client.session_new()?;
+            let ack = client.spec(&text, reserve)?;
+            let report = client.diagnose(bugdoc_serve::DiagnoseParams {
+                strategy,
+                mode,
+                seed,
+            })?;
+            let stats = client.stats()?;
+            // One-shot connects don't linger: release the session (and any
+            // reservation). The shared executor stays warm in the daemon.
+            client.request("CLOSE")?;
+            let field = |key: &str| {
+                stats
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0)
+            };
+            let mut out = report;
+            let _ = writeln!(
+                out,
+                "instances executed: {} new, {} answered from provenance",
+                field("session.new_executions"),
+                field("session.cache_hits")
+            );
+            let _ = writeln!(
+                out,
+                "daemon session {id} ({ack}): shared executor holds {} runs",
+                field("shared.provenance_runs")
+            );
             Ok(out)
         }
         Request::Explain {

@@ -108,10 +108,29 @@ pub fn parse_value(token: &str) -> Value {
     }
 }
 
-/// Parses a spec from its text.
+/// A parsed `param` line, staged until the whole file is read so the space
+/// is built in one place (and so duplicate names are *parse* errors with a
+/// line number, not a panic from [`ParamSpace`]'s builder).
+enum ParamDecl {
+    Categorical(String, Vec<Value>),
+    Ordinal(String, Vec<Value>),
+    Boolean(String),
+}
+
+impl ParamDecl {
+    fn name(&self) -> &str {
+        match self {
+            ParamDecl::Categorical(n, _) | ParamDecl::Ordinal(n, _) | ParamDecl::Boolean(n) => n,
+        }
+    }
+}
+
+/// Parses a spec from its text. Never panics: every malformed line —
+/// including ones that would trip [`ParamSpace`]'s builder invariants, like
+/// a duplicate parameter name — is a [`SpecError`] carrying its 1-based
+/// line number.
 pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
-    let mut builder = Some(ParamSpace::builder());
-    let mut n_params = 0usize;
+    let mut params: Vec<ParamDecl> = Vec::new();
     let mut command: Option<Vec<String>> = None;
     let mut eval: Option<CommandEval> = None;
     let mut workers = 5usize;
@@ -128,7 +147,9 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().expect("non-empty line");
+        let Some(keyword) = tokens.next() else {
+            continue;
+        };
         let rest: Vec<&str> = tokens.collect();
         match keyword {
             "param" => {
@@ -136,27 +157,29 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
                     return Err(err(line_no, "param needs a name and a kind"));
                 }
                 let name = rest[0].to_string();
+                if params.iter().any(|p| p.name() == name) {
+                    return Err(err(line_no, format!("duplicate parameter name {name:?}")));
+                }
                 let kind = rest[1];
                 let values: Vec<Value> = rest[2..].iter().map(|t| parse_value(t)).collect();
-                let b = builder.take().expect("builder present");
-                builder = Some(match kind {
+                params.push(match kind {
                     "categorical" => {
                         if values.len() < 2 {
                             return Err(err(line_no, "categorical needs at least 2 values"));
                         }
-                        b.categorical(name, values)
+                        ParamDecl::Categorical(name, values)
                     }
                     "ordinal" => {
                         if values.len() < 2 {
                             return Err(err(line_no, "ordinal needs at least 2 values"));
                         }
-                        b.ordinal(name, values)
+                        ParamDecl::Ordinal(name, values)
                     }
                     "boolean" => {
                         if !values.is_empty() {
                             return Err(err(line_no, "boolean takes no values"));
                         }
-                        b.boolean(name)
+                        ParamDecl::Boolean(name)
                     }
                     other => {
                         return Err(err(
@@ -165,7 +188,6 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
                         ))
                     }
                 });
-                n_params += 1;
             }
             "command" => {
                 if rest.is_empty() {
@@ -247,11 +269,22 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         }
     }
 
-    if n_params == 0 {
+    if params.is_empty() {
         return Err(err(0, "spec declares no parameters"));
     }
     let command = command.ok_or_else(|| err(0, "spec has no command line"))?;
     let eval = eval.ok_or_else(|| err(0, "spec has no eval line"))?;
+    // The per-line checks above (≥2 values, no duplicate names) are exactly
+    // the builder's panic preconditions, so this build cannot abort.
+    let mut builder = ParamSpace::builder();
+    for decl in params {
+        builder = match decl {
+            ParamDecl::Categorical(name, values) => builder.categorical(name, values),
+            ParamDecl::Ordinal(name, values) => builder.ordinal(name, values),
+            ParamDecl::Boolean(name) => builder.boolean(name),
+        };
+    }
+    let space = builder.build();
     let persist = match (persist_dir, snapshot_every) {
         (None, Some(_)) => {
             return Err(err(0, "snapshot_every requires persist_dir"));
@@ -263,7 +296,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         }),
     };
     Ok(Spec {
-        space: builder.take().expect("builder present").build(),
+        space,
         command,
         eval,
         workers,

@@ -1,0 +1,191 @@
+//! End-to-end daemon test against the real `bugdoc` binary: `serve` a real
+//! shell-script pipeline with durable provenance, `connect` sessions to it,
+//! then `SIGTERM` it and prove the shutdown was graceful — provenance
+//! snapshotted, directory lock released, warm start clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bugdoc-serve-e2e-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The `cli_end_to_end` fixture: fails exactly when the feed is acme at
+/// weekly resolution. The spec persists provenance under the workdir.
+fn write_fixture(dir: &Path) -> String {
+    let script = dir.join("run.sh");
+    fs::write(
+        &script,
+        "#!/bin/sh\nif [ \"$BUGDOC_FEED\" = acme ] && [ \"$BUGDOC_RESOLUTION\" = weekly ]; then exit 1; fi\nexit 0\n",
+    )
+    .unwrap();
+    use std::os::unix::fs::PermissionsExt;
+    fs::set_permissions(&script, fs::Permissions::from_mode(0o755)).unwrap();
+
+    let spec = dir.join("pipeline.spec");
+    fs::write(
+        &spec,
+        format!(
+            "param feed categorical internal acme datastream\n\
+             param resolution categorical monthly weekly daily\n\
+             param window ordinal 3 6 12\n\
+             command {} \n\
+             eval exit_code\n\
+             workers 2\n\
+             persist_dir {}\n\
+             snapshot_every 8\n",
+            script.display(),
+            dir.join("prov").display()
+        ),
+    )
+    .unwrap();
+    spec.display().to_string()
+}
+
+fn bugdoc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bugdoc"))
+}
+
+fn wait_for_socket(socket: &Path, daemon: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() {
+        if let Some(status) = daemon.try_wait().unwrap() {
+            panic!("daemon exited early: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn connect_report(socket: &Path, spec: &str) -> String {
+    let output = bugdoc()
+        .args([
+            "connect",
+            "--socket",
+            &socket.display().to_string(),
+            "--spec",
+            spec,
+            "--seed",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "connect failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).unwrap()
+}
+
+#[test]
+fn daemon_serves_shares_and_survives_sigterm() {
+    let dir = workdir("sigterm");
+    let spec = write_fixture(&dir);
+    let socket = dir.join("bugdoc.sock");
+
+    let mut daemon = bugdoc()
+        .args(["serve", "--socket", &socket.display().to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    wait_for_socket(&socket, &mut daemon);
+
+    // First session pays for the executions; the second shares them.
+    let first = connect_report(&socket, &spec);
+    assert!(
+        first.contains("feed = acme") && first.contains("resolution = weekly"),
+        "first report:\n{first}"
+    );
+    let second = connect_report(&socket, &spec);
+    assert!(
+        second.contains("feed = acme") && second.contains("resolution = weekly"),
+        "second report:\n{second}"
+    );
+    // The served cause sections are byte-identical between sessions.
+    let causes = |report: &str| {
+        report
+            .lines()
+            .take_while(|l| !l.starts_with("instances executed:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(causes(&first), causes(&second));
+    let new_of = |report: &str| -> usize {
+        report
+            .lines()
+            .find(|l| l.starts_with("instances executed:"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|n| n.parse().ok())
+            .unwrap()
+    };
+    assert!(new_of(&first) > 0, "first session must execute:\n{first}");
+    assert!(
+        new_of(&second) < new_of(&first),
+        "second session did not share the first's executions:\n{second}"
+    );
+
+    // SIGTERM (not SIGKILL): the daemon must drain, snapshot the durable
+    // store, release its lock, and exit cleanly.
+    let pid = daemon.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        if let Some(status) = daemon.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(!socket.exists(), "socket file not removed on exit");
+
+    let prov = dir.join("prov");
+    assert!(
+        !prov.join("lock").exists(),
+        "durable store lock not released on SIGTERM"
+    );
+    assert!(
+        fs::read_dir(&prov)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().starts_with("snap-")),
+        "no shutdown snapshot written"
+    );
+
+    // The persist dir warm-starts a one-shot run: same cause, and every
+    // run the daemon executed is recovered rather than re-executed.
+    let output = bugdoc()
+        .args(["diagnose", "--spec", &spec, "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "warm start failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let warm = String::from_utf8(output.stdout).unwrap();
+    assert!(
+        warm.contains("feed = acme") && warm.contains("resolution = weekly"),
+        "warm report:\n{warm}"
+    );
+    let warm_started: usize = warm
+        .lines()
+        .find_map(|l| l.strip_prefix("durable provenance: "))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no warm-start line:\n{warm}"));
+    assert!(warm_started > 0, "nothing recovered from the daemon's store");
+
+    let _ = fs::remove_dir_all(&dir);
+}

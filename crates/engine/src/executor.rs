@@ -451,6 +451,40 @@ impl ReadCache {
     }
 }
 
+impl ExecStats {
+    /// The statistics accrued since `baseline` was snapshotted — the
+    /// per-session view a diagnosis service reports when many sessions
+    /// share one executor. Counters subtract saturating (a counter can
+    /// only grow, but `release_slot`/`reclassify_as_hit` make
+    /// `new_executions` momentarily non-monotonic under races).
+    pub fn since(&self, baseline: &ExecStats) -> ExecStats {
+        ExecStats {
+            new_executions: self.new_executions.saturating_sub(baseline.new_executions),
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            unavailable: self.unavailable.saturating_sub(baseline.unavailable),
+            budget_refusals: self.budget_refusals.saturating_sub(baseline.budget_refusals),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            log_rederivations: self
+                .log_rederivations
+                .saturating_sub(baseline.log_rederivations),
+            sim_time: SimTime::from_secs((self.sim_time.secs() - baseline.sim_time.secs()).max(0.0)),
+            parallel_epoch_queries: self
+                .parallel_epoch_queries
+                .saturating_sub(baseline.parallel_epoch_queries),
+            epochs_scanned: self.epochs_scanned.saturating_sub(baseline.epochs_scanned),
+            bounds_pruned_subtrees: self
+                .bounds_pruned_subtrees
+                .saturating_sub(baseline.bounds_pruned_subtrees),
+            bounds_short_circuits: self
+                .bounds_short_circuits
+                .saturating_sub(baseline.bounds_short_circuits),
+            bounds_fallthroughs: self
+                .bounds_fallthroughs
+                .saturating_sub(baseline.bounds_fallthroughs),
+        }
+    }
+}
+
 /// Lock-free execution statistics (assembled into [`ExecStats`] on demand).
 #[derive(Default)]
 struct AtomicStats {
@@ -459,6 +493,9 @@ struct AtomicStats {
     unavailable: AtomicUsize,
     budget_refusals: AtomicUsize,
     log_rederivations: AtomicUsize,
+    /// Budget slots reserved by diagnosis sessions but not yet executed
+    /// (admission control; see [`Executor::try_reserve_session`]).
+    session_reserved: AtomicUsize,
     /// Virtual-clock seconds, stored as `f64` bits.
     sim_time_bits: AtomicU64,
     /// Candidates the algorithms pruned on a bound alone (see
@@ -517,8 +554,10 @@ pub struct Executor {
     /// The durable-provenance writer, when persistence is configured. Locked
     /// only on the new-execution record path (never on cache hits), always
     /// while the provenance write lock is held, so WAL frame order equals
-    /// run-log order.
-    persist: Option<Mutex<DurableStore>>,
+    /// run-log order. The inner `Option` exists for [`Executor::shutdown`],
+    /// which takes the store out (from `&self`) to close it gracefully; it
+    /// is `Some` for the executor's whole serving life.
+    persist: Option<Mutex<Option<DurableStore>>>,
     /// What recovery found at construction (persistence only).
     recovery: Option<Recovery>,
 }
@@ -585,7 +624,7 @@ impl Executor {
                         durable.append_with_snapshot(stored, &recovered)?;
                     }
                 }
-                (recovered, Some(Mutex::new(durable)), Some(recovery))
+                (recovered, Some(Mutex::new(Some(durable))), Some(recovery))
             }
         };
         // Provenance queries may fan out across the same worker pool the
@@ -634,13 +673,16 @@ impl Executor {
     /// the worker pool behind the exclusive lock.
     /// An I/O failure here panics: the executor cannot honor its durability
     /// contract, and continuing would silently fork disk from memory.
-    // lint: allow(W003, reason = "called only with the just-recorded run in the log (the expect); the panic on WAL I/O failure is the documented durability contract -- continuing would silently fork disk from memory", scope = "block")
+    // lint: allow(W003, reason = "called only with the just-recorded run in the log (the expect); the panics on WAL I/O failure and on a post-shutdown record are the documented durability contract -- continuing would silently fork disk from memory", scope = "block")
     fn persist_record(&self, prov: &ProvenanceStore) -> bool {
         match &self.persist {
             None => false,
             Some(persist) => {
                 let run = prov.runs().last().expect("a run was just recorded");
-                let mut durable = persist.lock();
+                let mut slot = persist.lock();
+                let durable = slot
+                    .as_mut()
+                    .expect("record after Executor::shutdown closed the durable store");
                 durable
                     .append(run, prov.space())
                     .unwrap_or_else(|e| panic!("durable provenance write failed: {e}"));
@@ -661,12 +703,37 @@ impl Executor {
         }
         if let Some(persist) = &self.persist {
             let prov = self.provenance.read();
-            let mut durable = persist.lock();
-            if durable.snapshot_due() {
-                durable
-                    .snapshot(&prov)
-                    .unwrap_or_else(|e| panic!("durable provenance snapshot failed: {e}"));
+            let mut slot = persist.lock();
+            // A shutdown racing the due snapshot already wrote a final one.
+            if let Some(durable) = slot.as_mut() {
+                if durable.snapshot_due() {
+                    durable
+                        .snapshot(&prov)
+                        .unwrap_or_else(|e| panic!("durable provenance snapshot failed: {e}"));
+                }
             }
+        }
+    }
+
+    /// Gracefully closes durable provenance: fsyncs the WAL, writes a final
+    /// snapshot of the current history, and releases the persist-directory
+    /// lock — the SIGTERM path of a long-lived serving process, after which
+    /// the directory warm-starts cleanly in the next process. Idempotent;
+    /// a no-op (returning `false`) when persistence is off or already shut
+    /// down. Callers must have stopped issuing evaluations first: a record
+    /// arriving after shutdown is a durability-contract panic, not a
+    /// silent fork of disk from memory.
+    pub fn shutdown(&self) -> Result<bool, PersistError> {
+        let Some(persist) = &self.persist else {
+            return Ok(false);
+        };
+        // Same order as persist_snapshot_if_due: provenance read lock, then
+        // the persist lock.
+        let prov = self.provenance.read();
+        let taken = persist.lock().take();
+        match taken {
+            Some(durable) => durable.close(&prov).map(|()| true),
+            None => Ok(false),
         }
     }
 
@@ -691,6 +758,46 @@ impl Executor {
         self.config
             .budget
             .map(|b| b.saturating_sub(self.stats.new_executions.load(Ordering::SeqCst)))
+    }
+
+    /// Reserves `n` budget slots for a diagnosis session — **admission
+    /// control**, not execution accounting. A multi-session service calls
+    /// this before admitting a session so concurrent sessions cannot
+    /// collectively oversubscribe the shared budget: the CAS succeeds only
+    /// while `executed + reserved + n <= budget`. The reservation does not
+    /// change what [`Executor::evaluate`] admits (the per-execution gate
+    /// stays exact); pair every successful call with
+    /// [`Executor::release_session`] when the session ends. Always succeeds
+    /// when the budget is unbounded.
+    pub fn try_reserve_session(&self, n: usize) -> bool {
+        let Some(budget) = self.config.budget else {
+            return true;
+        };
+        self.stats
+            .session_reserved
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |reserved| {
+                let executed = self.stats.new_executions.load(Ordering::SeqCst);
+                (executed.saturating_add(reserved).saturating_add(n) <= budget)
+                    .then(|| reserved + n)
+            })
+            .is_ok()
+    }
+
+    /// Returns `n` slots reserved by [`Executor::try_reserve_session`].
+    /// Saturating, so releasing more than was reserved (a session-manager
+    /// bug) clamps at zero instead of wrapping the admission gate open.
+    pub fn release_session(&self, n: usize) {
+        let _ = self
+            .stats
+            .session_reserved
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |reserved| {
+                Some(reserved.saturating_sub(n))
+            });
+    }
+
+    /// Budget slots currently reserved by admitted sessions.
+    pub fn session_reserved(&self) -> usize {
+        self.stats.session_reserved.load(Ordering::SeqCst)
     }
 
     /// Current statistics snapshot.
@@ -1514,6 +1621,100 @@ mod tests {
             Some(Outcome::Succeed)
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_reservations_gate_admission() {
+        let s = space();
+        let exec = Executor::new(
+            pipe(&s),
+            ExecutorConfig {
+                workers: 1,
+                budget: Some(10),
+                ..Default::default()
+            },
+        );
+        assert!(exec.try_reserve_session(6));
+        assert_eq!(exec.session_reserved(), 6);
+        assert!(!exec.try_reserve_session(5), "6 + 5 > 10");
+        assert!(exec.try_reserve_session(4));
+        assert!(!exec.try_reserve_session(1), "fully reserved");
+        exec.release_session(4);
+        // Executions count against the admission gate too.
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        exec.evaluate(&inst(&s, 2, 1)).unwrap();
+        assert!(!exec.try_reserve_session(3), "6 reserved + 2 executed + 3 > 10");
+        assert!(exec.try_reserve_session(2));
+        exec.release_session(6);
+        exec.release_session(2);
+        // Over-release clamps instead of reopening the gate.
+        exec.release_session(100);
+        assert_eq!(exec.session_reserved(), 0);
+        // Reservations do not consume the *execution* budget.
+        assert_eq!(exec.remaining_budget(), Some(8));
+    }
+
+    #[test]
+    fn unbounded_budget_admits_every_session() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        assert!(exec.try_reserve_session(usize::MAX));
+        assert_eq!(exec.session_reserved(), 0, "unbounded: nothing to track");
+    }
+
+    #[test]
+    fn shutdown_snapshots_and_releases_lock() {
+        let dir = persist_dir("shutdown");
+        let s = space();
+        let config = || ExecutorConfig {
+            workers: 2,
+            persist: Some(PersistConfig::new(&dir)),
+            ..Default::default()
+        };
+        let exec = Executor::new(pipe(&s), config());
+        for x in 1..=5 {
+            exec.evaluate(&inst(&s, x, 1)).unwrap();
+        }
+        assert!(exec.shutdown().unwrap(), "first shutdown closes the store");
+        assert!(!exec.shutdown().unwrap(), "idempotent");
+        assert!(
+            !dir.join("lock").exists(),
+            "shutdown released the directory lock while the executor still lives"
+        );
+        // The directory warm-starts cleanly — from the final snapshot, with
+        // no WAL tail left to replay — even though `exec` is still alive.
+        let warm = Executor::new(pipe(&s), config());
+        let recovery = warm.recovery().unwrap();
+        assert_eq!(recovery.runs, 5);
+        assert_eq!(recovery.snapshot_runs, 5, "shutdown wrote a final snapshot");
+        assert_eq!(recovery.replayed_frames, 0);
+        assert_eq!(recovery.truncated_bytes, 0);
+        drop(warm);
+        drop(exec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_without_persistence_is_a_noop() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        assert!(!exec.shutdown().unwrap());
+    }
+
+    #[test]
+    fn stats_since_baseline_is_the_session_delta() {
+        let s = space();
+        let exec = Executor::new(pipe(&s), ExecutorConfig::default());
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        let baseline = exec.stats();
+        exec.evaluate(&inst(&s, 2, 1)).unwrap();
+        exec.evaluate(&inst(&s, 1, 1)).unwrap();
+        let delta = exec.stats().since(&baseline);
+        assert_eq!(delta.new_executions, 1);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(ExecStats::default().since(&exec.stats()), ExecStats::default());
     }
 
     #[test]

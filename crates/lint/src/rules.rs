@@ -21,7 +21,7 @@ use crate::lexer::{lex, Scan};
 /// One rule violation (or a malformed allow-annotation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule ID (`W001`–`W006`, `L001`).
+    /// Stable rule ID (`W001`–`W007`, `L001`).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -84,6 +84,14 @@ pub const RULES: &[RuleInfo] = &[
         name: "print-containment",
         summary: "no println!/print!/eprintln!/eprint!/dbg! or process::exit outside \
                   crates/cli, bin targets, examples, and tests",
+    },
+    RuleInfo {
+        id: "W007",
+        name: "nonblocking-serve-handlers",
+        summary: "no blocking file/subprocess calls (File::/OpenOptions, \
+                  fsync/sync_all/sync_data, .execute(), std::fs::, process::Command) \
+                  in crates/serve non-test code — session handlers route work to the \
+                  shared executor; sockets, files, and signals belong to the CLI",
     },
     RuleInfo {
         id: "L001",
@@ -150,6 +158,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     rule_w004(rel_path, &scan, &mut findings);
     rule_w005(rel_path, &scan, &mut findings);
     rule_w006(rel_path, &scan, &mut findings);
+    rule_w007(rel_path, &scan, &mut findings);
     findings.retain(|f| {
         f.rule == "L001"
             || !allows
@@ -595,6 +604,47 @@ fn rule_w005(rel: &str, scan: &Scan, out: &mut Vec<Finding>) {
                     ));
                 }
             }
+        }
+    }
+}
+
+/// W007 — session handlers in `crates/serve` never block on files or
+/// subprocesses. A handler thread that opens/fsyncs a file or shells out
+/// stalls every session multiplexed on the daemon; durable I/O belongs to
+/// the executor (whose own threads the factory configured), and sockets,
+/// files, and signal handling belong to the CLI front end. Scoped by
+/// directory, not a file list, so new serve modules are covered by default.
+fn rule_w007(rel: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    if !rel.starts_with("crates/serve/") || test_path(rel) {
+        return;
+    }
+    const FORBIDDEN: &[&str] = &[
+        ".execute(",
+        "fsync",
+        "sync_all",
+        "sync_data",
+        "File::",
+        "OpenOptions",
+        "std::fs::",
+        "process::Command",
+        "Command::new(",
+    ];
+    for (i, line) in scan.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        if let Some(tok) = FORBIDDEN.iter().find(|t| line.code.contains(*t)) {
+            out.push(finding(
+                "W007",
+                rel,
+                i,
+                format!(
+                    "{tok} on a serve session-handler path — handlers must not block \
+                     on files or subprocesses; route the work through the shared \
+                     executor or the injected factory (sockets, files, and signals \
+                     belong to the CLI)"
+                ),
+            ));
         }
     }
 }

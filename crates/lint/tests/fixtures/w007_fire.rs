@@ -1,0 +1,11 @@
+// Deliberate W007 violation: a session handler spooling the request to disk,
+// fsyncing it, and running the pipeline inline — every session multiplexed on
+// the daemon stalls behind this one handler thread.
+impl Handler {
+    pub fn handle_diagnose(&self, req: &Request) -> Reply {
+        let spool = File::create(self.dir.join("spool.bin")).unwrap();
+        spool.sync_all().unwrap();
+        let outcome = self.pipeline.execute(&req.instance);
+        Reply::of(outcome)
+    }
+}

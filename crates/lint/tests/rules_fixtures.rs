@@ -11,6 +11,8 @@ const HOT: &str = "crates/engine/src/executor.rs";
 const CODEC: &str = "crates/store/src/wal.rs";
 /// A plain library path: subject to W001/W002/W006, none of the scoped sets.
 const LIB: &str = "crates/core/src/search.rs";
+/// A serve-crate session-handler path for W007.
+const SERVE: &str = "crates/serve/src/session.rs";
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -123,6 +125,28 @@ fn w006_printing_is_licensed_in_the_cli() {
 }
 
 #[test]
+fn w007_fires_on_blocking_io_in_serve_handlers() {
+    let findings = lint_source(SERVE, include_str!("fixtures/w007_fire.rs"));
+    let rules = rules_of(&findings);
+    assert!(
+        rules.iter().filter(|r| **r == "W007").count() >= 3,
+        "expected the file open, the fsync, and the execute to fire: {findings:?}"
+    );
+}
+
+#[test]
+fn w007_clean_when_delegating_to_the_executor() {
+    let findings = lint_source(SERVE, include_str!("fixtures/w007_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w007_does_not_apply_outside_the_serve_crate() {
+    let findings = lint_source(LIB, include_str!("fixtures/w007_fire.rs"));
+    assert!(!rules_of(&findings).contains(&"W007"), "{findings:?}");
+}
+
+#[test]
 fn l001_fires_on_allow_without_reason() {
     let findings = lint_source(HOT, include_str!("fixtures/l001_no_reason.rs"));
     assert!(rules_of(&findings).contains(&"L001"), "{findings:?}");
@@ -142,11 +166,11 @@ fn allow_with_reason_silences_the_site() {
 }
 
 #[test]
-fn registry_lists_at_least_six_workspace_rules() {
+fn registry_lists_at_least_seven_workspace_rules() {
     let w_rules = bugdoc_lint::RULES
         .iter()
         .filter(|r| r.id.starts_with('W'))
         .count();
-    assert!(w_rules >= 6, "only {w_rules} W-rules registered");
+    assert!(w_rules >= 7, "only {w_rules} W-rules registered");
     assert!(bugdoc_lint::known_rule("L001"));
 }

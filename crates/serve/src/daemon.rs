@@ -1,0 +1,262 @@
+//! The daemon: a Unix-domain-socket accept loop fanning connections out to
+//! per-connection handler threads over one shared [`SessionManager`].
+//!
+//! The loop is built for a clean, signal-driven exit: the listener is
+//! nonblocking and polled against a caller-owned shutdown flag (the CLI
+//! flips it from a `SIGTERM` handler, a client can flip it with
+//! `SHUTDOWN`), handlers read with a short timeout so they observe the
+//! flag between requests, and only after every handler has quiesced are
+//! the shared executors closed — durable ones snapshot their provenance
+//! and release their directory lock, so a killed daemon warm-starts.
+//!
+//! Handler threads never touch files or spawn processes; everything
+//! blocking-but-bounded is a socket read with a timeout. Lint rule W007
+//! keeps it that way.
+
+use crate::protocol::{self, Command, MAX_LINE_BYTES};
+use crate::session::SessionManager;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending, and how
+/// long a handler blocks in a read before re-polling the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// A running `bugdoc serve` daemon (minus the socket binding and signal
+/// handling, which belong to the front end).
+pub struct Daemon {
+    listener: UnixListener,
+    manager: Arc<SessionManager>,
+}
+
+/// What a daemon did over its lifetime, reported at exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Durable stores snapshot-and-closed at shutdown.
+    pub executors_closed: usize,
+}
+
+impl Daemon {
+    /// A daemon serving `listener` with sessions managed by `manager`.
+    pub fn over(listener: UnixListener, manager: Arc<SessionManager>) -> Daemon {
+        Daemon { listener, manager }
+    }
+
+    /// The shared session manager (for in-process inspection in tests).
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Serves until `shutdown` is set (by a signal handler, another thread,
+    /// or a client's `SHUTDOWN`), then drains handlers and closes every
+    /// shared executor. Blocks the calling thread for the daemon's life.
+    pub fn run(&self, shutdown: &AtomicBool) -> Result<DaemonSummary, String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll the listener: {e}"))?;
+        let connections = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            while !shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _addr)) => {
+                        connections.fetch_add(1, Ordering::SeqCst);
+                        let manager = Arc::clone(&self.manager);
+                        scope.spawn(move || serve_connection(stream, &manager, shutdown));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    // Listener torn down under us (socket unlinked): drain.
+                    Err(_) => break,
+                }
+            }
+            // Make handlers exit promptly even when the accept loop broke
+            // on a listener error rather than the flag.
+            shutdown.store(true, Ordering::SeqCst);
+            // `scope` joins every handler here: past this point no request
+            // is in flight, so closing the executors below is race-free.
+        });
+        let executors_closed = self.manager.shutdown_all()?;
+        Ok(DaemonSummary {
+            connections: connections.load(Ordering::SeqCst),
+            executors_closed,
+        })
+    }
+}
+
+enum ReadLine {
+    /// A complete (or EOF-terminated) line is in the buffer.
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// Shutdown, oversized line, or a hard socket error: drop the peer.
+    Dead,
+}
+
+/// Reads one `\n`-terminated line into `buf`, tolerating read timeouts (the
+/// partial prefix accumulates across them) so the shutdown flag is polled
+/// between waits. The caller owns clearing `buf` between lines.
+fn read_wire_line(
+    reader: &mut BufReader<UnixStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> ReadLine {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return ReadLine::Dead;
+        }
+        match reader.read_until(b'\n', buf) {
+            Ok(0) if buf.is_empty() => return ReadLine::Eof,
+            Ok(_) => return ReadLine::Line,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if buf.len() > MAX_LINE_BYTES {
+                    return ReadLine::Dead;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadLine::Dead,
+        }
+    }
+}
+
+fn serve_connection(stream: UnixStream, manager: &SessionManager, shutdown: &AtomicBool) {
+    // The timeout is what lets a parked handler notice shutdown.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut session: Option<u64> = None;
+
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match read_wire_line(&mut reader, &mut buf, shutdown) {
+            ReadLine::Line => {}
+            ReadLine::Eof | ReadLine::Dead => break,
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        let reply = match protocol::parse_command(&line) {
+            Err(e) => protocol::render_err(&e),
+            Ok(command) => {
+                match dispatch(command, manager, &mut session, &mut reader, shutdown) {
+                    Some(reply) => reply,
+                    None => break,
+                }
+            }
+        };
+        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+    // The connection is gone but the session survives: detach, not close.
+    // A reconnecting client continues it with `SESSION ATTACH`.
+    if let Some(id) = session {
+        let _ = manager.detach(id);
+    }
+}
+
+/// Executes one command; `None` means the peer vanished mid-request and the
+/// connection should be dropped without a reply.
+fn dispatch(
+    command: Command,
+    manager: &SessionManager,
+    session: &mut Option<u64>,
+    reader: &mut BufReader<UnixStream>,
+    shutdown: &AtomicBool,
+) -> Option<String> {
+    let reply = match command {
+        Command::Ping => "OK pong\n".to_string(),
+        Command::SessionNew => match *session {
+            Some(id) => {
+                protocol::render_err(&format!("this connection drives session {id} (DETACH first)"))
+            }
+            None => {
+                let id = manager.create();
+                *session = Some(id);
+                format!("OK session {id}\n")
+            }
+        },
+        Command::SessionAttach(id) => match *session {
+            Some(bound) => protocol::render_err(&format!(
+                "this connection drives session {bound} (DETACH first)"
+            )),
+            None => match manager.attach(id) {
+                Ok(()) => {
+                    *session = Some(id);
+                    format!("OK session {id}\n")
+                }
+                Err(e) => protocol::render_err(&e),
+            },
+        },
+        Command::Spec { lines, reserve } => {
+            // The counted block must be consumed even if the bind will be
+            // refused, or the stream desynchronizes.
+            let mut text = String::new();
+            let mut buf = Vec::new();
+            for _ in 0..lines {
+                buf.clear();
+                match read_wire_line(reader, &mut buf, shutdown) {
+                    ReadLine::Line => {
+                        text.push_str(&String::from_utf8_lossy(&buf));
+                        if !text.ends_with('\n') {
+                            text.push('\n');
+                        }
+                    }
+                    ReadLine::Eof | ReadLine::Dead => return None,
+                }
+            }
+            match *session {
+                None => protocol::render_err("no session (SESSION NEW first)"),
+                Some(id) => match manager.set_spec(id, &text, reserve) {
+                    Ok(ack) => format!(
+                        "OK spec {} sessions={}\n",
+                        if ack.shared { "shared" } else { "fresh" },
+                        ack.sessions
+                    ),
+                    Err(e) => protocol::render_err(&e),
+                },
+            }
+        }
+        Command::Diagnose(params) => match *session {
+            None => protocol::render_err("no session (SESSION NEW first)"),
+            Some(id) => match manager.diagnose(id, params) {
+                Ok(report) => protocol::render_block("report", &report),
+                Err(e) => protocol::render_err(&e),
+            },
+        },
+        Command::Stats => match *session {
+            None => protocol::render_err("no session (SESSION NEW first)"),
+            Some(id) => match manager.stats(id) {
+                Ok(body) => protocol::render_block("stats", &body),
+                Err(e) => protocol::render_err(&e),
+            },
+        },
+        Command::Detach => match session.take() {
+            None => protocol::render_err("no session to detach"),
+            Some(id) => match manager.detach(id) {
+                Ok(()) => "OK detached\n".to_string(),
+                Err(e) => protocol::render_err(&e),
+            },
+        },
+        Command::Close => match session.take() {
+            None => protocol::render_err("no session to close"),
+            Some(id) => match manager.close(id) {
+                Ok(()) => "OK closed\n".to_string(),
+                Err(e) => protocol::render_err(&e),
+            },
+        },
+        Command::Shutdown => {
+            // Reply first (the caller writes it), then the read loop sees
+            // the flag and winds the connection down.
+            shutdown.store(true, Ordering::SeqCst);
+            "OK shutting-down\n".to_string()
+        }
+    };
+    Some(reply)
+}

@@ -59,6 +59,8 @@
 //! * [`dtree`], [`qm`] — the decision-tree and Quine–McCluskey substrates.
 //! * [`store`] — durable provenance: a segmented checksummed write-ahead
 //!   log, snapshots, and crash recovery with warm-start diagnosis.
+//! * [`serve`] — the diagnosis service daemon (`bugdoc serve`): concurrent
+//!   sessions sharing one executor per pipeline spec.
 //! * [`workflow`] — the dynamic pipeline-execution layer: module DAGs with
 //!   swappable, parameterized implementations, plus a real mini-ML substrate.
 //! * [`synth`], [`pipelines`], [`eval`] — the paper's benchmark: synthetic
@@ -75,6 +77,7 @@ pub use bugdoc_engine as engine;
 pub use bugdoc_eval as eval;
 pub use bugdoc_pipelines as pipelines;
 pub use bugdoc_qm as qm;
+pub use bugdoc_serve as serve;
 pub use bugdoc_store as store;
 pub use bugdoc_synth as synth;
 pub use bugdoc_workflow as workflow;
