@@ -28,6 +28,8 @@
 //!   the same candidates (per-conjunction figure) — the bounds-before-exact
 //!   gate every pruned query pays
 //! * `perf/kernel_and_popcount_64k` — fused AND+popcount over 64k-bit words
+//! * `perf/telemetry_record` — one wait-free histogram sample (the unit cost
+//!   of an always-on instrumentation probe)
 //! * `perf/wal_append` — durable provenance: one record appended to the WAL
 //! * `perf/snapshot_write` — durable provenance: 10k-run snapshot image
 //!   serialization (fsync/rename excluded as environment noise)
@@ -123,6 +125,7 @@ fn main() {
 
     let mut c = Criterion::default();
     perf::bench_hot_paths(&mut c);
+    perf::bench_telemetry(&mut c);
     let hit_rates = perf::bench_bounded_cache(&mut c);
     perf::bench_persistence(&mut c);
     perf::bench_ddt_end_to_end(&mut c);

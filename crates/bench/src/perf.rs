@@ -362,6 +362,37 @@ pub fn bench_bounded_cache(c: &mut Criterion) -> Vec<(String, f64)> {
     rates
 }
 
+/// Registers the telemetry-overhead probe on `c`:
+///
+/// * `perf/telemetry_record` — one histogram sample through the wait-free
+///   record path (log₂ bucketing plus three relaxed `fetch_add`s) — the
+///   unit cost every always-on instrumentation site pays, so the figure
+///   bounds what any probe can add to the paths it observes.
+pub fn bench_telemetry(c: &mut Criterion) {
+    let hist = bugdoc_telemetry::histogram(
+        "bugdoc_bench_record_probe_ns",
+        "Bench-only histogram exercising the record path",
+    );
+    let mut group = c.benchmark_group("perf");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
+    // An LCG walk over the sample values so every bucket (and the branchless
+    // bucket math) is exercised, not one cache-warm bucket word.
+    let mut v = 1u64;
+    group.bench_function("telemetry_record", move |b| {
+        b.iter(|| {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            hist.record(v >> 16);
+            v
+        })
+    });
+    group.finish();
+}
+
 /// Registers the durable-provenance scenarios on `c`:
 ///
 /// * `perf/wal_append` — one run record appended to the write-ahead log

@@ -9,12 +9,13 @@
 //! ```text
 //! bugdoc diagnose --spec pipeline.spec [--provenance runs.tsv]
 //!                 [--algorithm combined|stacked|ddt] [--mode one|all]
-//!                 [--seed N] [--save-provenance out.tsv]
+//!                 [--seed N] [--save-provenance out.tsv] [--metrics]
 //! bugdoc explain  --spec pipeline.spec --provenance runs.tsv
 //!                 [--method dataxray|exptables]     # analysis only, no runs
 //! bugdoc serve    --socket PATH         # long-lived diagnosis daemon
 //! bugdoc connect  --socket PATH --spec pipeline.spec
 //!                 [--algorithm ...] [--mode ...] [--seed N] [--reserve N]
+//!                 [--stats] [--metrics]
 //! ```
 //!
 //! `serve` hosts concurrent diagnosis sessions over one shared executor per
@@ -50,6 +51,8 @@ pub enum Request {
         seed: u64,
         /// Write the final provenance here.
         save_provenance: Option<String>,
+        /// Append the process-wide telemetry exposition to the report.
+        metrics: bool,
     },
     /// Run a baseline explainer on existing provenance (no executions).
     Explain {
@@ -80,6 +83,10 @@ pub enum Request {
         seed: u64,
         /// Executions to reserve from the daemon's shared budget (0: none).
         reserve: usize,
+        /// Print every `STATS` counter the daemon reports, not the summary.
+        stats: bool,
+        /// Append the daemon's `METRICS` exposition to the report.
+        metrics: bool,
     },
     /// Print usage.
     Help,
@@ -91,12 +98,16 @@ bugdoc — find minimal definitive root causes of pipeline failures
 
 USAGE:
   bugdoc diagnose --spec FILE [--provenance FILE] [--algorithm combined|stacked|ddt]
-                  [--mode one|all] [--seed N] [--save-provenance FILE]
+                  [--mode one|all] [--seed N] [--save-provenance FILE] [--metrics]
   bugdoc explain  --spec FILE --provenance FILE [--method dataxray|exptables]
   bugdoc serve    --socket PATH
   bugdoc connect  --socket PATH --spec FILE [--algorithm combined|stacked|ddt]
-                  [--mode one|all] [--seed N] [--reserve N]
+                  [--mode one|all] [--seed N] [--reserve N] [--stats] [--metrics]
   bugdoc help
+
+--metrics appends the telemetry counters/histograms (Prometheus text): the
+local process's for diagnose, the daemon's for connect. connect --stats
+prints every session and shared counter the daemon's STATS command reports.
 
 The spec file declares parameters, the command template, and the evaluation:
   param feed categorical internal acme datastream
@@ -125,6 +136,8 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
     let mut method = "dataxray".to_string();
     let mut socket = None;
     let mut reserve = 0usize;
+    let mut stats = false;
+    let mut metrics = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -166,6 +179,8 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
                     .parse()
                     .map_err(|_| "--reserve needs an integer".to_string())?
             }
+            "--stats" => stats = true,
+            "--metrics" => metrics = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -180,6 +195,7 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
             mode,
             seed,
             save_provenance,
+            metrics,
         }),
         "explain" => Ok(Request::Explain {
             spec: spec.ok_or("explain needs --spec")?,
@@ -196,6 +212,8 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
             mode,
             seed,
             reserve,
+            stats,
+            metrics,
         }),
         other => Err(format!("unknown command {other:?} (try `bugdoc help`)")),
     }
@@ -285,6 +303,7 @@ pub fn run(request: Request) -> Result<String, String> {
             mode,
             seed,
             save_provenance,
+            metrics,
         } => {
             let spec = load_spec(&spec)?;
             let prov = load_provenance(&spec, provenance.as_deref())?;
@@ -371,6 +390,24 @@ pub fn run(request: Request) -> Result<String, String> {
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 let _ = writeln!(out, "provenance written to {path}");
             }
+            if metrics {
+                // Rendered after the diagnosis so the histograms carry this
+                // run's store and re-derivation latencies.
+                let _ = writeln!(out, "\n# telemetry (this process)");
+                out.push_str(&bugdoc_telemetry::render());
+                // Same scrape-time bridge the daemon uses: the executor's
+                // counters live on ExecStats atomics, so a one-shot run
+                // exposes them under the daemon's metric names too (here
+                // there is exactly one executor to "sum" over).
+                for (name, value) in stats.counter_fields() {
+                    let _ = writeln!(
+                        out,
+                        "# HELP bugdoc_executor_{name}_total ExecStats::{name} for this run"
+                    );
+                    let _ = writeln!(out, "# TYPE bugdoc_executor_{name}_total counter");
+                    let _ = writeln!(out, "bugdoc_executor_{name}_total {value}");
+                }
+            }
             Ok(out)
         }
         Request::Serve { socket } => {
@@ -396,6 +433,8 @@ pub fn run(request: Request) -> Result<String, String> {
             mode,
             seed,
             reserve,
+            stats,
+            metrics,
         } => {
             let text = std::fs::read_to_string(&spec)
                 .map_err(|e| format!("cannot read {spec}: {e}"))?;
@@ -407,12 +446,17 @@ pub fn run(request: Request) -> Result<String, String> {
                 mode,
                 seed,
             })?;
-            let stats = client.stats()?;
+            let counters = client.stats()?;
+            let exposition = if metrics {
+                Some(client.metrics()?)
+            } else {
+                None
+            };
             // One-shot connects don't linger: release the session (and any
             // reservation). The shared executor stays warm in the daemon.
             client.request("CLOSE")?;
             let field = |key: &str| {
-                stats
+                counters
                     .iter()
                     .find(|(k, _)| k == key)
                     .map(|(_, v)| *v)
@@ -430,6 +474,18 @@ pub fn run(request: Request) -> Result<String, String> {
                 "daemon session {id} ({ack}): shared executor holds {} runs",
                 field("shared.provenance_runs")
             );
+            if stats {
+                let _ = writeln!(out, "\n# daemon stats");
+                for (key, value) in &counters {
+                    let _ = writeln!(out, "{key} {value}");
+                }
+            }
+            if let Some(lines) = exposition {
+                let _ = writeln!(out, "\n# daemon telemetry");
+                for line in lines {
+                    let _ = writeln!(out, "{line}");
+                }
+            }
             Ok(out)
         }
         Request::Explain {
@@ -515,6 +571,35 @@ mod tests {
                 assert_eq!(mode, DdtMode::FindOne);
                 assert_eq!(seed, 7);
                 assert_eq!(save_provenance.as_deref(), Some("out.tsv"));
+            }
+            _ => panic!("wrong request"),
+        }
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let req = parse_args(&s(&["diagnose", "--spec", "p.spec", "--metrics"])).unwrap();
+        match req {
+            Request::Diagnose { metrics, .. } => assert!(metrics),
+            _ => panic!("wrong request"),
+        }
+        let req = parse_args(&s(&[
+            "connect", "--socket", "s.sock", "--spec", "p.spec", "--stats", "--metrics",
+        ]))
+        .unwrap();
+        match req {
+            Request::Connect { stats, metrics, .. } => {
+                assert!(stats);
+                assert!(metrics);
+            }
+            _ => panic!("wrong request"),
+        }
+        // The flags are boolean: absent means off.
+        let req = parse_args(&s(&["connect", "--socket", "s.sock", "--spec", "p.spec"])).unwrap();
+        match req {
+            Request::Connect { stats, metrics, .. } => {
+                assert!(!stats);
+                assert!(!metrics);
             }
             _ => panic!("wrong request"),
         }

@@ -62,7 +62,7 @@ fn wait_for_socket(socket: &Path, daemon: &mut Child) {
     }
 }
 
-fn connect_report(socket: &Path, spec: &str) -> String {
+fn connect_report(socket: &Path, spec: &str, extra: &[&str]) -> String {
     let output = bugdoc()
         .args([
             "connect",
@@ -73,6 +73,7 @@ fn connect_report(socket: &Path, spec: &str) -> String {
             "--seed",
             "3",
         ])
+        .args(extra)
         .output()
         .unwrap();
     assert!(
@@ -81,6 +82,47 @@ fn connect_report(socket: &Path, spec: &str) -> String {
         String::from_utf8_lossy(&output.stderr)
     );
     String::from_utf8(output.stdout).unwrap()
+}
+
+/// One raw `METRICS` scrape over the wire, as an operator's collector would
+/// issue it: no session, one command line, a counted reply block.
+fn scrape_metrics(socket: &Path) -> Vec<String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    let mut stream = UnixStream::connect(socket).unwrap();
+    stream.write_all(b"METRICS\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    reader.read_line(&mut head).unwrap();
+    let n: usize = head
+        .trim()
+        .strip_prefix("OK metrics ")
+        .unwrap_or_else(|| panic!("bad METRICS head {head:?}"))
+        .parse()
+        .unwrap();
+    (0..n)
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        })
+        .collect()
+}
+
+/// `(name, value)` pairs of the monotone counter samples (`*_total` /
+/// `*_count` families) in an exposition, with any label set kept as part of
+/// the name so per-executor series compare like-for-like.
+fn counter_samples(lines: &[String]) -> Vec<(String, f64)> {
+    lines
+        .iter()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter(|(name, _)| {
+            let bare = name.split('{').next().unwrap_or(name);
+            bare.ends_with("_total") || bare.ends_with("_count")
+        })
+        .map(|(name, value)| (name.to_string(), value.parse().unwrap()))
+        .collect()
 }
 
 #[test]
@@ -98,15 +140,69 @@ fn daemon_serves_shares_and_survives_sigterm() {
     wait_for_socket(&socket, &mut daemon);
 
     // First session pays for the executions; the second shares them.
-    let first = connect_report(&socket, &spec);
+    let first = connect_report(&socket, &spec, &[]);
     assert!(
         first.contains("feed = acme") && first.contains("resolution = weekly"),
         "first report:\n{first}"
     );
-    let second = connect_report(&socket, &spec);
+    // Scrape between the sessions, exactly as a collector would.
+    let scrape1 = scrape_metrics(&socket);
+    let second = connect_report(&socket, &spec, &["--stats", "--metrics"]);
     assert!(
         second.contains("feed = acme") && second.contains("resolution = weekly"),
         "second report:\n{second}"
+    );
+    // The passthrough flags surface the daemon's counters and exposition
+    // without hand-crafting protocol lines.
+    assert!(second.contains("# daemon stats"), "{second}");
+    assert!(second.contains("shared.new_executions "), "{second}");
+    assert!(
+        second.contains("bugdoc_serve_sessions_created_total"),
+        "{second}"
+    );
+    let scrape2 = scrape_metrics(&socket);
+
+    // The exposition parses: every line is a HELP/TYPE comment or a
+    // `name[{labels}] value` sample with a finite value, and every sample
+    // name was introduced by a TYPE comment earlier in the scrape.
+    let mut typed: Vec<String> = Vec::new();
+    for line in &scrape2 {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.push(rest.split_whitespace().next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "malformed comment {line:?}");
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap();
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad sample {line:?}"));
+        assert!(value.is_finite(), "{line:?}");
+        let bare = name.split(['{', ' ']).next().unwrap();
+        assert!(
+            typed.iter().any(|t| bare.starts_with(t.as_str())),
+            "sample {bare} has no TYPE comment: {line:?}"
+        );
+    }
+    // Counters are monotone across the two scrapes, and the connect in
+    // between moved at least one of them.
+    let before = counter_samples(&scrape1);
+    let after = counter_samples(&scrape2);
+    let mut grew = false;
+    for (name, v1) in &before {
+        let Some((_, v2)) = after.iter().find(|(n, _)| n == name) else {
+            panic!("counter {name} vanished between scrapes");
+        };
+        assert!(v2 >= v1, "counter {name} went backwards: {v1} -> {v2}");
+        grew |= v2 > v1;
+    }
+    assert!(grew, "no counter moved across a diagnosis:\n{scrape2:?}");
+    // The durable store behind this daemon records WAL append latencies.
+    assert!(
+        scrape2
+            .iter()
+            .any(|l| l.starts_with("bugdoc_store_wal_append_ns_count")),
+        "{scrape2:?}"
     );
     // The served cause sections are byte-identical between sessions.
     let causes = |report: &str| {

@@ -62,10 +62,34 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Number of read-cache shards (power of two; see the module docs).
 pub const CACHE_SHARDS: usize = 16;
+
+/// Latency of cache-miss log re-derivations (the exact-provenance fallback
+/// behind an evicting shard cache). The handle is cached so the registry
+/// lock is touched once per process, not per probe.
+fn rederive_ns() -> &'static bugdoc_telemetry::Histogram {
+    static H: OnceLock<&'static bugdoc_telemetry::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        bugdoc_telemetry::histogram(
+            "bugdoc_executor_rederive_ns",
+            "Latency of shard-cache misses re-derived exactly from the provenance log (ns)",
+        )
+    })
+}
+
+/// Eviction-pressure flight events are sampled: one event per
+/// `EVICTION_SAMPLE` evictions on a shard, so a thrashing cache surfaces in
+/// the flight ring without flooding it.
+const EVICTION_SAMPLE: usize = 1024;
+
+/// Re-derivation latency samples are taken for one miss in this many: the
+/// histogram still sees the distribution while the other misses pay only a
+/// relaxed counter load on top of the log walk they were already doing.
+const REDERIVE_SAMPLE: usize = 64;
 
 /// Why the executor could not evaluate an instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -418,7 +442,19 @@ impl ReadCache {
             .insert(fp, key, outcome, self.max_entries, self.max_bytes);
         // Relaxed: telemetry-only eviction counter.
         if evicted > 0 {
-            shard.evictions.fetch_add(evicted, Ordering::Relaxed);
+            let before = shard.evictions.fetch_add(evicted, Ordering::Relaxed);
+            let after = before + evicted;
+            // Sampled flight event when the shard's eviction count crosses
+            // an EVICTION_SAMPLE boundary: cheap enough to stay always-on,
+            // frequent enough that sustained thrash is visible in FLIGHT.
+            if before / EVICTION_SAMPLE != after / EVICTION_SAMPLE {
+                bugdoc_telemetry::event(
+                    bugdoc_telemetry::EventKind::EvictionPressure,
+                    after as u64,
+                    evicted as u64,
+                    0,
+                );
+            }
         }
     }
 
@@ -482,6 +518,29 @@ impl ExecStats {
                 .bounds_fallthroughs
                 .saturating_sub(baseline.bounds_fallthroughs),
         }
+    }
+
+    /// Every counter field as a `(name, value)` pair, in declaration order.
+    /// This is the single source of truth consumers iterate instead of
+    /// naming fields one by one — the serve daemon's `STATS` block and the
+    /// `METRICS` bridge both render from it, so adding a counter here
+    /// automatically surfaces it everywhere (and the wire-parity test
+    /// fails if a renderer goes stale). `sim_time` is excluded: it is a
+    /// duration, not a counter.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("new_executions", self.new_executions as u64),
+            ("cache_hits", self.cache_hits as u64),
+            ("unavailable", self.unavailable as u64),
+            ("budget_refusals", self.budget_refusals as u64),
+            ("evictions", self.evictions as u64),
+            ("log_rederivations", self.log_rederivations as u64),
+            ("parallel_epoch_queries", self.parallel_epoch_queries),
+            ("epochs_scanned", self.epochs_scanned),
+            ("bounds_pruned_subtrees", self.bounds_pruned_subtrees),
+            ("bounds_short_circuits", self.bounds_short_circuits),
+            ("bounds_fallthroughs", self.bounds_fallthroughs),
+        ]
     }
 }
 
@@ -823,6 +882,9 @@ impl Executor {
             self.stats
                 .bounds_pruned_subtrees
                 .fetch_add(n, Ordering::Relaxed);
+            // Bounds-gate decisions are rare (per pruned subtree, not per
+            // query), so each one earns a flight event.
+            bugdoc_telemetry::event(bugdoc_telemetry::EventKind::BoundsPruned, n, 0, 0);
         }
     }
 
@@ -908,12 +970,28 @@ impl Executor {
                 if !self.cache.is_bounded() {
                     return None;
                 }
+                // Sampled latency probe (1 in REDERIVE_SAMPLE): deciding up
+                // front lets unsampled misses skip both clock reads — at a
+                // thrashing 25% cache budget the miss path is hot enough to
+                // trip the bench gate if every miss paid two `Instant::now`
+                // calls. Relaxed: telemetry-only sampling decision.
+                let timed = self.stats.log_rederivations.load(Ordering::Relaxed)
+                    % REDERIVE_SAMPLE
+                    == 0;
+                let started = timed.then(Instant::now);
                 let rederived = self.provenance.read().lookup(instance).map(|e| e.outcome);
                 if let Some(outcome) = rederived {
                     // Relaxed: telemetry-only counters.
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     self.stats.log_rederivations.fetch_add(1, Ordering::Relaxed);
                     self.cache.insert(fp, k.into(), outcome);
+                    if let Some(started) = started {
+                        // Off the shard-hit fast path by construction: only
+                        // an evicted/collided probe pays the log walk, and
+                        // its latency is the signal a memory-budget tuner
+                        // needs.
+                        rederive_ns().record_elapsed(started);
+                    }
                 }
                 rederived
             }

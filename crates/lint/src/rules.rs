@@ -21,7 +21,7 @@ use crate::lexer::{lex, Scan};
 /// One rule violation (or a malformed allow-annotation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule ID (`W001`–`W007`, `L001`).
+    /// Stable rule ID (`W001`–`W008`, `L001`).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -94,6 +94,15 @@ pub const RULES: &[RuleInfo] = &[
                   shared executor; sockets, files, and signals belong to the CLI",
     },
     RuleInfo {
+        id: "W008",
+        name: "wait-free-telemetry",
+        summary: "telemetry record paths (crates/telemetry non-test code outside \
+                  registry.rs) never lock, allocate, or block — a recorder is a bounded \
+                  sequence of atomic ops; and the fixed atomic-bucket-array idiom \
+                  ([AtomicU64; N]) stays in crates/telemetry — instrument through its \
+                  handles, don't re-open metric storage",
+    },
+    RuleInfo {
         id: "L001",
         name: "malformed-allow",
         summary: "a `// lint: allow(...)` annotation must name a known rule and carry \
@@ -159,6 +168,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     rule_w005(rel_path, &scan, &mut findings);
     rule_w006(rel_path, &scan, &mut findings);
     rule_w007(rel_path, &scan, &mut findings);
+    rule_w008(rel_path, &scan, &mut findings);
     findings.retain(|f| {
         f.rule == "L001"
             || !allows
@@ -645,6 +655,75 @@ fn rule_w007(rel: &str, scan: &Scan, out: &mut Vec<Finding>) {
                      belong to the CLI)"
                 ),
             ));
+        }
+    }
+}
+
+/// W008 — telemetry record paths stay wait-free. Two facets. Inside
+/// `crates/telemetry` (every non-test module except `registry.rs`, whose
+/// registration/render side runs once per site and once per scrape, never
+/// per sample): no locking, allocation, or blocking calls — a recorder
+/// must be a bounded sequence of atomic ops, or a stalled recorder stalls
+/// the very path it was meant to observe. Outside `crates/telemetry`: the
+/// fixed atomic-bucket-array storage idiom (`[AtomicU64; N]`) is not
+/// re-opened — instrument through the telemetry handles so every metric
+/// shows up in one registry and one exposition.
+fn rule_w008(rel: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    if test_path(rel) {
+        return;
+    }
+    let record_path = rel.starts_with("crates/telemetry/src/")
+        && rel != "crates/telemetry/src/registry.rs";
+    if record_path {
+        const FORBIDDEN: &[&str] = &[
+            ".lock()",
+            "Mutex",
+            "RwLock",
+            "Condvar",
+            "Box::new(",
+            "Vec::new(",
+            "vec!",
+            "format!",
+            ".to_string(",
+            "String::",
+            "File::",
+            "OpenOptions",
+            "std::fs::",
+            "process::Command",
+            "thread::sleep",
+        ];
+        for (i, line) in scan.lines.iter().enumerate() {
+            if line.is_test {
+                continue;
+            }
+            if let Some(tok) = FORBIDDEN.iter().find(|t| line.code.contains(*t)) {
+                out.push(finding(
+                    "W008",
+                    rel,
+                    i,
+                    format!(
+                        "{tok} on a telemetry record path — recorders are wait-free \
+                         (bounded atomic ops only); locking, allocation, and blocking \
+                         belong to registry.rs's registration/render side"
+                    ),
+                ));
+            }
+        }
+    } else if !rel.starts_with("crates/telemetry/") {
+        for (i, line) in scan.lines.iter().enumerate() {
+            if line.is_test {
+                continue;
+            }
+            if line.code.contains("[AtomicU64;") {
+                out.push(finding(
+                    "W008",
+                    rel,
+                    i,
+                    "fixed atomic-bucket-array metric storage outside crates/telemetry \
+                     — register a telemetry Counter/Gauge/Histogram instead so the \
+                     metric reaches the shared exposition",
+                ));
+            }
         }
     }
 }

@@ -1,0 +1,13 @@
+// The compliant twin of w008_fire.rs: recording is a bounded sequence of
+// atomic adds on pre-registered fixed storage — no lock, no allocation,
+// nothing that can park a recorder or stall the path being observed.
+impl Histogram {
+    pub fn record(&self, value: u64) {
+        let bucket = Self::bucket_of(value) & (BUCKETS - 1);
+        // relaxed: independent monotone counters; the snapshot reader
+        // tolerates a torn cross-field view and retries.
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed: as above
+        self.sum.fetch_add(value, Ordering::Relaxed); // relaxed: as above
+    }
+}

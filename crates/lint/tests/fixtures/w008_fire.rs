@@ -1,0 +1,16 @@
+// Deliberate W008 violations: a "wait-free" histogram whose record path
+// takes a mutex and allocates a label string per sample — every recorder
+// serializes on the lock and the hot path churns the allocator — plus (for
+// the outside-telemetry facet) a private atomic-bucket array re-implementing
+// the storage the telemetry crate already owns.
+impl Histogram {
+    pub fn record(&self, value: u64) {
+        let mut entries = self.registry.lock().unwrap();
+        let label = format!("bucket_{}", value.leading_zeros());
+        entries.push((label, value));
+    }
+}
+
+pub struct ShadowHistogram {
+    buckets: [AtomicU64; 64],
+}

@@ -13,6 +13,8 @@ const CODEC: &str = "crates/store/src/wal.rs";
 const LIB: &str = "crates/core/src/search.rs";
 /// A serve-crate session-handler path for W007.
 const SERVE: &str = "crates/serve/src/session.rs";
+/// A telemetry record-path module for W008.
+const TELEMETRY: &str = "crates/telemetry/src/metrics.rs";
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -144,6 +146,43 @@ fn w007_clean_when_delegating_to_the_executor() {
 fn w007_does_not_apply_outside_the_serve_crate() {
     let findings = lint_source(LIB, include_str!("fixtures/w007_fire.rs"));
     assert!(!rules_of(&findings).contains(&"W007"), "{findings:?}");
+}
+
+#[test]
+fn w008_fires_on_locking_and_allocating_record_path() {
+    let findings = lint_source(TELEMETRY, include_str!("fixtures/w008_fire.rs"));
+    let rules = rules_of(&findings);
+    assert!(
+        rules.iter().filter(|r| **r == "W008").count() >= 2,
+        "expected both the lock and the format! to fire: {findings:?}"
+    );
+}
+
+#[test]
+fn w008_clean_when_recording_is_atomic_ops_only() {
+    let findings = lint_source(TELEMETRY, include_str!("fixtures/w008_clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w008_registry_side_may_lock_and_allocate() {
+    let findings = lint_source(
+        "crates/telemetry/src/registry.rs",
+        include_str!("fixtures/w008_fire.rs"),
+    );
+    assert!(!rules_of(&findings).contains(&"W008"), "{findings:?}");
+}
+
+#[test]
+fn w008_atomic_bucket_arrays_fire_outside_telemetry() {
+    let findings = lint_source(LIB, include_str!("fixtures/w008_fire.rs"));
+    let w008: Vec<_> = findings.iter().filter(|f| f.rule == "W008").collect();
+    assert_eq!(
+        w008.len(),
+        1,
+        "only the [AtomicU64; N] facet applies outside telemetry: {findings:?}"
+    );
+    assert!(w008[0].message.contains("atomic-bucket-array"), "{findings:?}");
 }
 
 #[test]

@@ -112,6 +112,17 @@ impl Client {
         Ok(pairs)
     }
 
+    /// Fetches the daemon-wide Prometheus exposition, one line per entry.
+    pub fn metrics(&mut self) -> Result<Vec<String>, String> {
+        Ok(self.request("METRICS")?.body)
+    }
+
+    /// Fetches the most recent flight-recorder events, oldest first, as
+    /// `<seq> <t_us> <kind> <a0> <a1> <a2>` lines.
+    pub fn flight(&mut self) -> Result<Vec<String>, String> {
+        Ok(self.request("FLIGHT")?.body)
+    }
+
     fn transact(&mut self, payload: &str) -> Result<Reply, String> {
         self.writer
             .write_all(payload.as_bytes())

@@ -237,6 +237,10 @@ fn dispatch(
                 Err(e) => protocol::render_err(&e),
             },
         },
+        // Daemon-wide observability: no session needed, so an operator's
+        // scraper can poll without joining the session lifecycle.
+        Command::Metrics => protocol::render_block("metrics", &manager.render_metrics()),
+        Command::Flight => protocol::render_block("flight", &protocol::render_flight()),
         Command::Detach => match session.take() {
             None => protocol::render_err("no session to detach"),
             Some(id) => match manager.detach(id) {

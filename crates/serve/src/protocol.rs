@@ -16,6 +16,8 @@
 //! DIAGNOSE [algorithm=combined|stacked|ddt] [mode=one|all] [seed=<n>]
 //!                               -> OK report <n>  + n report lines
 //! STATS                         -> OK stats <n>   + n `key value` lines
+//! METRICS                       -> OK metrics <n> + n Prometheus text lines
+//! FLIGHT                        -> OK flight <n>  + n recent-event lines
 //! DETACH                        -> OK detached  (session survives)
 //! CLOSE                         -> OK closed    (reservation released)
 //! SHUTDOWN                      -> OK shutting-down  (daemon drains)
@@ -36,7 +38,11 @@ pub const MAX_SPEC_LINES: usize = 4096;
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Reply tags whose `OK <tag> <n>` head line is followed by `n` body lines.
-pub const BLOCK_TAGS: &[&str] = &["report", "stats"];
+pub const BLOCK_TAGS: &[&str] = &["report", "stats", "metrics", "flight"];
+
+/// Most recent flight events a `FLIGHT` reply carries. Far below the ring
+/// capacity so a dump stays a skim, not a download.
+pub const FLIGHT_DUMP_MAX: usize = 256;
 
 /// Settings a session passes to one `DIAGNOSE` request. Defaults mirror the
 /// one-shot CLI: the paper's combined strategy, find-all, seed 0.
@@ -80,6 +86,12 @@ pub enum Command {
     Diagnose(DiagnoseParams),
     /// Report session-scoped and shared execution statistics.
     Stats,
+    /// Render every telemetry metric as Prometheus text exposition
+    /// (daemon-wide; needs no session).
+    Metrics,
+    /// Dump the most recent flight-recorder events (daemon-wide; needs no
+    /// session).
+    Flight,
     /// Unbind the session from this connection, keeping it alive.
     Detach,
     /// Destroy the session and release its budget reservation.
@@ -161,6 +173,8 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Command::Diagnose(params)
         }
         "STATS" => Command::Stats,
+        "METRICS" => Command::Metrics,
+        "FLIGHT" => Command::Flight,
         "DETACH" => Command::Detach,
         "CLOSE" => Command::Close,
         "SHUTDOWN" => Command::Shutdown,
@@ -170,6 +184,27 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         return Err(format!("trailing tokens after {keyword}"));
     }
     Ok(command)
+}
+
+/// Renders the most recent flight-recorder events (at most
+/// [`FLIGHT_DUMP_MAX`]), oldest first, one event per line:
+/// `<seq> <t_us> <kind> <arg0> <arg1> <arg2>`. Pure in-memory rendering —
+/// the ring read never blocks a recorder (and W007 keeps this handler off
+/// files and subprocesses).
+pub fn render_flight() -> String {
+    let mut out = String::new();
+    for ev in bugdoc_telemetry::flight_dump(FLIGHT_DUMP_MAX) {
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            ev.seq,
+            ev.t_us,
+            ev.kind.name(),
+            ev.args[0],
+            ev.args[1],
+            ev.args[2]
+        ));
+    }
+    out
 }
 
 /// Renders an error reply. The message is flattened to one line so the
@@ -225,6 +260,8 @@ mod tests {
             })
         );
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics);
+        assert_eq!(parse_command("FLIGHT").unwrap(), Command::Flight);
         assert_eq!(parse_command("DETACH").unwrap(), Command::Detach);
         assert_eq!(parse_command("CLOSE").unwrap(), Command::Close);
         assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
@@ -255,6 +292,9 @@ mod tests {
             "DIAGNOSE algorithm=combined extra=1",
             "PING PONG",
             "STATS now",
+            "METRICS all",
+            "FLIGHT 10",
+            "metrics",
             "SHUTDOWN -f",
             "\u{0}\u{1}",
         ] {

@@ -23,11 +23,49 @@
 use crate::protocol::DiagnoseParams;
 use bugdoc_algorithms::{diagnose, BugDocConfig};
 use bugdoc_engine::{ExecStats, Executor};
+use bugdoc_telemetry::EventKind;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Serve-layer telemetry handles, registered once per process.
+struct ServeProbes {
+    sessions_created: &'static bugdoc_telemetry::Counter,
+    sessions_closed: &'static bugdoc_telemetry::Counter,
+    diagnoses: &'static bugdoc_telemetry::Counter,
+    diagnose_ns: &'static bugdoc_telemetry::Histogram,
+}
+
+fn probes() -> &'static ServeProbes {
+    static P: OnceLock<ServeProbes> = OnceLock::new();
+    P.get_or_init(|| ServeProbes {
+        sessions_created: bugdoc_telemetry::counter(
+            "bugdoc_serve_sessions_created_total",
+            "Sessions ever created by this daemon",
+        ),
+        sessions_closed: bugdoc_telemetry::counter(
+            "bugdoc_serve_sessions_closed_total",
+            "Sessions explicitly closed (detached sessions stay alive)",
+        ),
+        diagnoses: bugdoc_telemetry::counter(
+            "bugdoc_serve_diagnoses_total",
+            "DIAGNOSE requests completed, successfully or not",
+        ),
+        diagnose_ns: bugdoc_telemetry::histogram(
+            "bugdoc_serve_diagnose_ns",
+            "End-to-end latency of one DIAGNOSE request (ns)",
+        ),
+    })
+}
+
+/// Whole microseconds since `started`, saturating (flight-event payload).
+fn elapsed_us(started: Instant) -> u64 {
+    let us = started.elapsed().as_micros();
+    if us > u64::MAX as u128 { u64::MAX } else { us as u64 }
+}
 
 /// Builds an executor from raw spec text.
 ///
@@ -42,6 +80,13 @@ struct SharedExecutor {
     exec: Executor,
     /// Sessions currently bound to this executor.
     sessions: AtomicUsize,
+    /// Stable label for per-executor metrics (`executor="<index>"`), in
+    /// creation order. Executors are never evicted while the daemon runs,
+    /// so the label never changes or gets reused.
+    index: usize,
+    /// When this executor was built — per-executor uptime is the
+    /// measurement substrate the idle-eviction follow-up needs.
+    created_at: Instant,
 }
 
 /// A session's binding to a shared executor.
@@ -106,6 +151,8 @@ impl SessionManager {
                 bound: None,
             },
         );
+        probes().sessions_created.inc();
+        bugdoc_telemetry::event(EventKind::SessionCreated, id, 0, 0);
         id
     }
 
@@ -145,6 +192,8 @@ impl SessionManager {
         if let Some(bound) = session.bound {
             release_bound(&bound);
         }
+        probes().sessions_closed.inc();
+        bugdoc_telemetry::event(EventKind::SessionClosed, id, 0, 0);
         Ok(())
     }
 
@@ -168,6 +217,10 @@ impl SessionManager {
                     let shared = Arc::new(SharedExecutor {
                         exec,
                         sessions: AtomicUsize::new(0),
+                        // Executors are only ever added while the daemon
+                        // runs, so the map size is a stable creation index.
+                        index: executors.len(),
+                        created_at: Instant::now(),
                     });
                     executors.insert(key, Arc::clone(&shared));
                     (shared, true)
@@ -205,6 +258,7 @@ impl SessionManager {
         };
         shared.sessions.fetch_add(1, Ordering::SeqCst);
         let peers = shared.sessions.load(Ordering::SeqCst);
+        bugdoc_telemetry::event(EventKind::SpecBound, id, shared.index as u64, peers as u64);
         session.bound = Some(Bound {
             shared,
             last: ExecStats::default(),
@@ -228,8 +282,19 @@ impl SessionManager {
         let shared = self.bound_executor(id)?;
         let before = shared.exec.stats();
         let config = BugDocConfig::front_end(params.strategy, params.mode, params.seed);
-        let diagnosis = diagnose(&shared.exec, &config).map_err(|e| e.to_string())?;
+        let started = Instant::now();
+        bugdoc_telemetry::event(EventKind::DiagnoseStart, id, 0, 0);
+        let outcome = diagnose(&shared.exec, &config).map_err(|e| e.to_string());
         let delta = shared.exec.stats().since(&before);
+        probes().diagnoses.inc();
+        probes().diagnose_ns.record_elapsed(started);
+        bugdoc_telemetry::event(
+            EventKind::DiagnoseEnd,
+            id,
+            elapsed_us(started),
+            delta.new_executions as u64,
+        );
+        let diagnosis = outcome?;
         if let Some(bound) = self
             .sessions
             .lock()
@@ -251,10 +316,16 @@ impl SessionManager {
         };
         let total = shared.exec.stats();
         let mut out = String::new();
-        let _ = writeln!(out, "session.new_executions {}", delta.new_executions);
-        let _ = writeln!(out, "session.cache_hits {}", delta.cache_hits);
-        let _ = writeln!(out, "shared.new_executions {}", total.new_executions);
-        let _ = writeln!(out, "shared.cache_hits {}", total.cache_hits);
+        // Every ExecStats counter, session delta first, then the shared
+        // totals — rendered from counter_fields() so the block can never
+        // drift out of parity with the one-shot CLI summary (a wire test
+        // asserts the key sets match).
+        for (name, value) in delta.counter_fields() {
+            let _ = writeln!(out, "session.{name} {value}");
+        }
+        for (name, value) in total.counter_fields() {
+            let _ = writeln!(out, "shared.{name} {value}");
+        }
         let _ = writeln!(
             out,
             "shared.provenance_runs {}",
@@ -270,6 +341,66 @@ impl SessionManager {
             let _ = writeln!(out, "shared.remaining_budget {remaining}");
         }
         Ok(out)
+    }
+
+    /// Renders the daemon-wide telemetry view as Prometheus text
+    /// exposition: every registered metric (store timings, serve counters,
+    /// the engine's re-derivation histogram), the executor counters bridged
+    /// at scrape time from each resident executor's [`ExecStats`], and
+    /// per-executor session/run/uptime gauges. Entirely in-memory (W007:
+    /// handlers never block on files), and nothing here holds a manager
+    /// lock while reading executor stats.
+    pub fn render_metrics(&self) -> String {
+        let executors: Vec<Arc<SharedExecutor>> =
+            self.executors.lock().values().map(Arc::clone).collect();
+        let mut out = bugdoc_telemetry::render();
+
+        // Scrape-time bridge: the executor's own counters stay on their
+        // existing atomics (zero added cost on the cache-hit path) and are
+        // summed across executors only here.
+        let mut totals = ExecStats::default().counter_fields();
+        for shared in &executors {
+            let stats = shared.exec.stats();
+            for (slot, (_, value)) in totals.iter_mut().zip(stats.counter_fields()) {
+                slot.1 += value;
+            }
+        }
+        for (name, value) in totals {
+            let _ = writeln!(
+                out,
+                "# HELP bugdoc_executor_{name}_total ExecStats::{name}, summed over resident executors"
+            );
+            let _ = writeln!(out, "# TYPE bugdoc_executor_{name}_total counter");
+            let _ = writeln!(out, "bugdoc_executor_{name}_total {value}");
+        }
+
+        // Per-executor gauges: the load signals an idle-eviction policy
+        // (ROADMAP follow-up) would act on.
+        let families: [(&str, &str, &dyn Fn(&SharedExecutor) -> f64); 3] = [
+            (
+                "bugdoc_serve_executor_sessions",
+                "Sessions currently bound to this executor",
+                &|s| s.sessions.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "bugdoc_serve_executor_runs",
+                "Provenance runs resident in this executor (seeded + executed)",
+                &|s| s.exec.with_provenance_ref(|prov| prov.len()) as f64,
+            ),
+            (
+                "bugdoc_serve_executor_uptime_seconds",
+                "Seconds since this executor was built",
+                &|s| s.created_at.elapsed().as_secs_f64(),
+            ),
+        ];
+        for (name, help, value_of) in families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for shared in &executors {
+                let _ = writeln!(out, "{name}{{executor=\"{}\"}} {}", shared.index, value_of(shared));
+            }
+        }
+        out
     }
 
     /// Closes every executor: durable ones snapshot their provenance and

@@ -79,7 +79,48 @@ pub use wal::{Wal, WalPosition};
 use bugdoc_core::{ParamSpace, ProvenanceStore, Run};
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Telemetry handles for the durable-store timings, registered once and
+/// cached so record paths never touch the registry lock. Append/fsync are
+/// the per-run costs a serving deployment watches; snapshot and replay are
+/// the rare heavyweight phases the flight recorder also captures.
+struct StoreProbes {
+    wal_append_ns: &'static bugdoc_telemetry::Histogram,
+    wal_fsync_ns: &'static bugdoc_telemetry::Histogram,
+    snapshot_write_ns: &'static bugdoc_telemetry::Histogram,
+    replay_ns: &'static bugdoc_telemetry::Histogram,
+}
+
+/// Whole microseconds since `started`, saturating (flight-event payloads
+/// are u64 microseconds).
+fn elapsed_us(started: Instant) -> u64 {
+    let us = started.elapsed().as_micros();
+    if us > u64::MAX as u128 { u64::MAX } else { us as u64 }
+}
+
+fn probes() -> &'static StoreProbes {
+    static P: OnceLock<StoreProbes> = OnceLock::new();
+    P.get_or_init(|| StoreProbes {
+        wal_append_ns: bugdoc_telemetry::histogram(
+            "bugdoc_store_wal_append_ns",
+            "Latency of one WAL frame append, encode included (ns)",
+        ),
+        wal_fsync_ns: bugdoc_telemetry::histogram(
+            "bugdoc_store_wal_fsync_ns",
+            "Latency of syncing the WAL tail to disk (ns)",
+        ),
+        snapshot_write_ns: bugdoc_telemetry::histogram(
+            "bugdoc_store_snapshot_write_ns",
+            "Latency of writing one full provenance snapshot (ns)",
+        ),
+        replay_ns: bugdoc_telemetry::histogram(
+            "bugdoc_store_replay_ns",
+            "Latency of WAL-tail replay during recovery (ns)",
+        ),
+    })
+}
 
 /// WAL segment magic bytes.
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"BDWALv1\n";
@@ -513,6 +554,7 @@ impl DurableStore {
         // streams — decode, materialize, and record fused per frame with no
         // staging; with more, records are staged so materialization can be
         // batched across the replay workers.
+        let replay_started = Instant::now();
         let mut replayed = 0usize;
         let summary = if replay_workers <= 1 {
             let sink_store = &mut store;
@@ -543,6 +585,14 @@ impl DurableStore {
             summary
         };
 
+        probes().replay_ns.record_elapsed(replay_started);
+        bugdoc_telemetry::event(
+            bugdoc_telemetry::EventKind::WalReplay,
+            replayed as u64,
+            elapsed_us(replay_started),
+            summary.truncated_bytes,
+        );
+
         let wal = Wal::open(&config.dir, digest, config.segment_bytes)?;
         let recovery = Recovery {
             runs: store.len(),
@@ -567,9 +617,11 @@ impl DurableStore {
     /// Appends one newly recorded run to the WAL. Call in recording order —
     /// the WAL's frame order is the recovered store's run order.
     pub fn append(&mut self, run: &Run, space: &ParamSpace) -> Result<(), PersistError> {
+        let started = Instant::now();
         let record = RunRecord::from_run(run, space);
         self.wal.append(&record)?;
         self.appended_since_snapshot += 1;
+        probes().wal_append_ns.record_elapsed(started);
         Ok(())
     }
 
@@ -610,9 +662,19 @@ impl DurableStore {
     /// tail), fsyncs the WAL first so the covered prefix is durable, and
     /// prunes WAL segments wholly covered by the *older* retained snapshot.
     pub fn snapshot(&mut self, store: &ProvenanceStore) -> Result<(), PersistError> {
+        let started = Instant::now();
         self.wal.sync()?;
+        probes().wal_fsync_ns.record_elapsed(started);
         let pos = self.wal.position();
+        let write_started = Instant::now();
         snapshot::write_snapshot(&self.dir, self.digest, store, pos)?;
+        probes().snapshot_write_ns.record_elapsed(write_started);
+        bugdoc_telemetry::event(
+            bugdoc_telemetry::EventKind::WalSnapshot,
+            store.len() as u64,
+            elapsed_us(started),
+            0,
+        );
         self.appended_since_snapshot = 0;
         // Both retained snapshots cover at least the segments before the
         // older one's position; those are now dead weight.

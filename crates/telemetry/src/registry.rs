@@ -1,0 +1,165 @@
+//! The registration and rendering half of the telemetry crate.
+//!
+//! This is the only module allowed to lock or allocate (W008 scopes the
+//! wait-free contract to [`crate::metrics`] and [`crate::flight`]).
+//! Registration takes a `Mutex` once per *site* — instrumentation points
+//! cache the returned `&'static` handle in a `OnceLock` — and rendering
+//! runs only on scrape/CLI paths, entirely in memory.
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+use crate::flight::{flight, FlightEvent, FLIGHT_CAPACITY};
+use crate::metrics::{Counter, Gauge, Histogram, BUCKETS};
+
+/// What a registered name refers to.
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    handle: Handle,
+}
+
+/// The process-global registry: a locked list, touched only at
+/// registration and render time.
+static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers (or finds) a counter named `name`. Idempotent: a second call
+/// with the same name returns the same handle, so call sites don't need to
+/// coordinate. The handle is `&'static` (leaked once) so record paths
+/// never touch the registry lock.
+pub fn counter(name: &'static str, help: &'static str) -> &'static Counter {
+    let mut entries = lock_entries();
+    for e in entries.iter() {
+        if e.name == name {
+            if let Handle::Counter(c) = e.handle {
+                return c;
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    entries.push(Entry { name, help, handle: Handle::Counter(c) });
+    c
+}
+
+/// Registers (or finds) a gauge named `name` (see [`counter`]).
+pub fn gauge(name: &'static str, help: &'static str) -> &'static Gauge {
+    let mut entries = lock_entries();
+    for e in entries.iter() {
+        if e.name == name {
+            if let Handle::Gauge(g) = e.handle {
+                return g;
+            }
+        }
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    entries.push(Entry { name, help, handle: Handle::Gauge(g) });
+    g
+}
+
+/// Registers (or finds) a histogram named `name` (see [`counter`]).
+pub fn histogram(name: &'static str, help: &'static str) -> &'static Histogram {
+    let mut entries = lock_entries();
+    for e in entries.iter() {
+        if e.name == name {
+            if let Handle::Histogram(h) = e.handle {
+                return h;
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    entries.push(Entry { name, help, handle: Handle::Histogram(h) });
+    h
+}
+
+fn lock_entries() -> std::sync::MutexGuard<'static, Vec<Entry>> {
+    // A poisoned registry lock only means a panic happened mid-registration
+    // elsewhere; the list itself is append-only and safe to keep using.
+    match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Renders every registered metric as Prometheus text exposition
+/// (`# HELP` / `# TYPE` headers, then samples), sorted by name so scrapes
+/// are diffable. Histograms emit cumulative `_bucket{le="…"}` series up to
+/// their highest occupied bucket, then `{le="+Inf"}`, `_sum`, and
+/// `_count`; sample values are whatever unit the recorder used
+/// (nanoseconds for the built-in latency probes).
+pub fn render() -> String {
+    let entries = lock_entries();
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| entries[i].name);
+    let mut out = String::new();
+    for i in order {
+        let e = &entries[i];
+        match e.handle {
+            Handle::Counter(c) => {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} counter", e.name);
+                let _ = writeln!(out, "{} {}", e.name, c.get());
+            }
+            Handle::Gauge(g) => {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                let _ = writeln!(out, "{} {}", e.name, g.get());
+            }
+            Handle::Histogram(h) => {
+                let snap = h.snapshot();
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                let top = snap
+                    .buckets
+                    .iter()
+                    .rposition(|&b| b != 0)
+                    .map(|p| p + 1)
+                    .unwrap_or(0)
+                    .min(BUCKETS);
+                let mut cumulative = 0u64;
+                for (b, &n) in snap.buckets.iter().enumerate().take(top) {
+                    cumulative = cumulative.saturating_add(n);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{le=\"{}\"}} {}",
+                        e.name,
+                        Histogram::bucket_bound(b),
+                        cumulative
+                    );
+                }
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.bucket_total());
+                let _ = writeln!(out, "{}_sum {}", e.name, snap.sum);
+                let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+            }
+        }
+    }
+    out
+}
+
+/// Dumps the most recent flight events, oldest first, at most `max` (and
+/// never more than the ring holds). Torn or overwritten slots are skipped,
+/// so under heavy concurrent recording the dump may have gaps — by design,
+/// the reader never blocks a writer.
+pub fn flight_dump(max: usize) -> Vec<FlightEvent> {
+    let ring = flight();
+    let cursor = ring.cursor();
+    let span = (max.min(FLIGHT_CAPACITY) as u64).min(cursor);
+    let mut out = Vec::with_capacity(span as usize);
+    let mut idx = cursor - span;
+    while idx < cursor {
+        if let Some(ev) = ring.read_slot(idx) {
+            out.push(ev);
+        }
+        idx += 1;
+    }
+    out
+}

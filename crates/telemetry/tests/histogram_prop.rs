@@ -1,0 +1,122 @@
+//! Property tests for the log₂ histogram against a naive reference, plus
+//! concurrency and merge consistency checks.
+
+use bugdoc_telemetry::{Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The reference bucketing: scan the power-of-two ranges directly.
+fn reference_bucket(value: u64) -> usize {
+    if value < 2 {
+        return 0;
+    }
+    for i in 1..BUCKETS {
+        let lo = 1u64 << i;
+        if value >= lo && (i == BUCKETS - 1 || value < lo << 1) {
+            return i;
+        }
+    }
+    BUCKETS - 1
+}
+
+/// A reference histogram built with plain integers.
+fn reference(samples: &[u64]) -> HistogramSnapshot {
+    let mut snap = HistogramSnapshot::default();
+    for &s in samples {
+        snap.buckets[reference_bucket(s)] += 1;
+        snap.count += 1;
+        snap.sum = snap.sum.wrapping_add(s);
+    }
+    snap
+}
+
+#[test]
+fn bucket_boundaries_are_powers_of_two() {
+    // 0 and 1 share bucket 0; every 2^i opens bucket i; 2^(i+1)-1 closes it.
+    assert_eq!(Histogram::bucket_of(0), 0);
+    assert_eq!(Histogram::bucket_of(1), 0);
+    for i in 1..BUCKETS {
+        let lo = 1u64 << i;
+        assert_eq!(Histogram::bucket_of(lo), i, "2^{i} opens bucket {i}");
+        assert_eq!(Histogram::bucket_of(lo - 1), i - 1, "2^{i}-1 closes bucket {}", i - 1);
+    }
+}
+
+#[test]
+fn top_bucket_saturates() {
+    assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    assert_eq!(Histogram::bucket_of(1u64 << 63), BUCKETS - 1);
+    assert_eq!(Histogram::bucket_bound(BUCKETS - 1), u64::MAX);
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(1u64 << 63);
+    assert_eq!(h.snapshot().buckets[BUCKETS - 1], 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_reference(samples in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let reference = reference(&samples);
+        prop_assert_eq!(snap.buckets, reference.buckets);
+        prop_assert_eq!(snap.count, reference.count);
+        prop_assert_eq!(snap.count, snap.bucket_total());
+    }
+
+    #[test]
+    fn merge_matches_combined(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let reference = reference(&combined);
+        prop_assert_eq!(merged.buckets, reference.buckets);
+        prop_assert_eq!(merged.count, reference.count);
+    }
+}
+
+/// Concurrent recorders: every thread hammers the same histogram; once all
+/// join, the snapshot is exact (no lost updates, count == bucket total).
+#[test]
+fn concurrent_recorders_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread samples across buckets deterministically.
+                    h.record(((t * PER_THREAD + i) as u64) << (i % 24));
+                }
+            })
+        })
+        .collect();
+    // Snapshots taken mid-flight must stay internally plausible (never
+    // more buckets than records claimed by a later snapshot).
+    let mid = h.snapshot();
+    assert!(mid.bucket_total() <= (THREADS * PER_THREAD) as u64);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.count, snap.bucket_total());
+}

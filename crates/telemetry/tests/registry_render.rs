@@ -1,0 +1,57 @@
+//! Registry exposition-format tests: idempotent registration and valid
+//! Prometheus text rendering.
+
+use bugdoc_telemetry::{counter, gauge, histogram, render};
+
+#[test]
+fn registration_is_idempotent() {
+    let a = counter("reg_test_idem_total", "idempotency check");
+    let b = counter("reg_test_idem_total", "idempotency check");
+    assert!(std::ptr::eq(a, b));
+    a.inc();
+    assert_eq!(b.get(), 1);
+}
+
+#[test]
+fn render_emits_valid_exposition_triples() {
+    counter("reg_test_render_total", "a counter").add(3);
+    gauge("reg_test_render_level", "a gauge").set(-2);
+    let h = histogram("reg_test_render_ns", "a histogram");
+    h.record(5);
+    h.record(300);
+    let text = render();
+
+    // Every non-comment line is `name[{labels}] value`; every family has
+    // # HELP and # TYPE headers preceding its samples.
+    let mut seen_type: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap();
+            let kind = parts.next().unwrap();
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "bad type {kind}");
+            seen_type.push(name);
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                seen_type.iter().any(|t| name.starts_with(t)),
+                "sample {name} before its # TYPE header"
+            );
+            value.parse::<f64>().unwrap_or_else(|_| panic!("unparsable value {value:?}"));
+        }
+    }
+
+    assert!(text.contains("# TYPE reg_test_render_total counter"));
+    assert!(text.contains("reg_test_render_total 3"));
+    assert!(text.contains("# TYPE reg_test_render_level gauge"));
+    assert!(text.contains("reg_test_render_level -2"));
+    assert!(text.contains("# TYPE reg_test_render_ns histogram"));
+    // 5 lands in bucket 2 (le=7), 300 in bucket 8 (le=511); cumulative
+    // buckets, then +Inf, sum, count.
+    assert!(text.contains("reg_test_render_ns_bucket{le=\"7\"} 1"));
+    assert!(text.contains("reg_test_render_ns_bucket{le=\"511\"} 2"));
+    assert!(text.contains("reg_test_render_ns_bucket{le=\"+Inf\"} 2"));
+    assert!(text.contains("reg_test_render_ns_sum 305"));
+    assert!(text.contains("reg_test_render_ns_count 2"));
+}

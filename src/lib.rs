@@ -61,6 +61,8 @@
 //!   log, snapshots, and crash recovery with warm-start diagnosis.
 //! * [`serve`] — the diagnosis service daemon (`bugdoc serve`): concurrent
 //!   sessions sharing one executor per pipeline spec.
+//! * [`telemetry`] — wait-free metrics (counters, gauges, log₂ histograms)
+//!   and a flight-recorder ring, rendered as Prometheus text exposition.
 //! * [`workflow`] — the dynamic pipeline-execution layer: module DAGs with
 //!   swappable, parameterized implementations, plus a real mini-ML substrate.
 //! * [`synth`], [`pipelines`], [`eval`] — the paper's benchmark: synthetic
@@ -80,6 +82,7 @@ pub use bugdoc_qm as qm;
 pub use bugdoc_serve as serve;
 pub use bugdoc_store as store;
 pub use bugdoc_synth as synth;
+pub use bugdoc_telemetry as telemetry;
 pub use bugdoc_workflow as workflow;
 
 /// The types most applications need, in one import.

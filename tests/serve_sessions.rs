@@ -223,6 +223,115 @@ fn reservations_gate_admission_across_the_wire() {
 }
 
 #[test]
+fn stats_keys_mirror_exec_stats_counters_exactly() {
+    let harness = Harness::start("parity");
+    let mut client = harness.client();
+    client.session_new().unwrap();
+    client.spec("ml pipeline\n", 0).unwrap();
+    client.diagnose(DiagnoseParams::default()).unwrap();
+    let stats = client.stats().unwrap();
+
+    // Every ExecStats counter appears in both windows — `evictions`,
+    // `log_rederivations`, and the three `bounds_*` counters included, so
+    // the daemon view can never silently lag the one-shot CLI summary.
+    let counters = bugdoc::engine::ExecStats::default().counter_fields();
+    for (name, _) in counters {
+        stat(&stats, &format!("session.{name}"));
+        stat(&stats, &format!("shared.{name}"));
+    }
+    // And the other direction: every wire key is either a counter field or
+    // one of the declared shared-lifecycle extras, so a field added to
+    // ExecStats::counter_fields (or a stray renderer line) breaks parity
+    // loudly here rather than drifting.
+    const EXTRAS: &[&str] = &[
+        "shared.provenance_runs",
+        "shared.sessions",
+        "shared.reserved",
+        "shared.remaining_budget",
+    ];
+    for (key, _) in &stats {
+        let known = EXTRAS.contains(&key.as_str())
+            || counters.iter().any(|(name, _)| {
+                key == &format!("session.{name}") || key == &format!("shared.{name}")
+            });
+        assert!(known, "unexpected stats key {key:?}");
+    }
+    client.request("CLOSE").unwrap();
+    harness.stop();
+}
+
+#[test]
+fn metrics_and_flight_surface_a_diagnosis() {
+    let harness = Harness::start("metrics");
+    let mut client = harness.client();
+    client.session_new().unwrap();
+    client.spec("ml pipeline\n", 0).unwrap();
+    client.diagnose(DiagnoseParams::default()).unwrap();
+
+    let metrics = client.metrics().unwrap();
+    assert!(!metrics.is_empty(), "empty exposition");
+    for line in &metrics {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "malformed comment line {line:?}"
+            );
+            continue;
+        }
+        // Samples are `name[{labels}] value` with a finite numeric value.
+        let (_, value) = line.rsplit_once(' ').expect("sample line without value");
+        let parsed: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("non-numeric sample value in {line:?}")
+        });
+        assert!(parsed.is_finite(), "{line:?}");
+    }
+    let sample_value = |name: &str| {
+        metrics
+            .iter()
+            .filter(|l| !l.starts_with('#'))
+            .find(|l| l.split([' ', '{']).next() == Some(name))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse::<f64>().unwrap())
+            .unwrap_or_else(|| panic!("metric {name} missing: {metrics:?}"))
+    };
+    // The scrape-time executor bridge: counters summed over resident
+    // executors, under the names ExecStats::counter_fields declares.
+    assert!(sample_value("bugdoc_executor_new_executions_total") > 0.0);
+    // The serve session lifecycle counters and the diagnosis histogram.
+    assert!(sample_value("bugdoc_serve_sessions_created_total") >= 1.0);
+    assert!(sample_value("bugdoc_serve_diagnose_ns_count") >= 1.0);
+    // Per-executor gauges carry an executor label.
+    assert!(
+        metrics
+            .iter()
+            .any(|l| l.starts_with("bugdoc_serve_executor_sessions{executor=")),
+        "{metrics:?}"
+    );
+
+    let flight = client.flight().unwrap();
+    let kinds: Vec<&str> = flight
+        .iter()
+        .map(|l| {
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            assert_eq!(fields.len(), 6, "malformed flight line {l:?}");
+            fields[2]
+        })
+        .collect();
+    for kind in ["session_created", "spec_bound", "diagnose_start", "diagnose_end"] {
+        assert!(kinds.contains(&kind), "no {kind} event: {flight:?}");
+    }
+    // Sequence numbers come back oldest-first and strictly increasing.
+    let seqs: Vec<u64> = flight
+        .iter()
+        .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+
+    client.request("CLOSE").unwrap();
+    harness.stop();
+}
+
+#[test]
 fn shutdown_command_drains_the_daemon() {
     let harness = Harness::start("shutdown");
     let mut client = harness.client();
